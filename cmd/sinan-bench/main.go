@@ -1,0 +1,77 @@
+// Command sinan-bench regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	sinan-bench -exp table2          # one experiment
+//	sinan-bench -exp fig11 -full     # full-size sweep
+//	sinan-bench -exp all             # everything, quick mode
+//	sinan-bench -list                # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sinan/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4) or 'all'")
+		full   = flag.Bool("full", false, "full-size runs (default: quick mode)")
+		list   = flag.Bool("list", false, "list available experiments")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet  = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	logw := os.Stderr
+	lab := experiments.NewLab(!*full, logw)
+	if *quiet {
+		lab.Log = nil
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown experiment %q (use -list)", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		fmt.Fprintf(os.Stderr, "\n--- running %s: %s ---\n", e.ID, e.Title)
+		tables := e.Run(lab)
+		for i, t := range tables {
+			t.Render(os.Stdout)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					log.Fatal(err)
+				}
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				t.CSV(f)
+				f.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command sinan-run executes one managed session of an application under a
+// chosen resource-management policy and prints the per-interval trace and a
+// summary. For policy=sinan a trained hybrid model (sinan-train) is needed.
+//
+// Example:
+//
+//	sinan-collect -app hotel -out hotel.ds
+//	sinan-train -data hotel.ds -qos 200 -out hotel.model
+//	sinan-run -app hotel -policy sinan -model hotel.model -load 2000 -duration 180
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sinan/internal/apps"
+	"sinan/internal/baselines"
+	"sinan/internal/core"
+	"sinan/internal/predsvc"
+	"sinan/internal/runner"
+	"sinan/internal/workload"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "hotel", "application: hotel | social")
+		policy   = flag.String("policy", "sinan", "policy: sinan | autoscale-opt | autoscale-cons | powerchief | static")
+		model    = flag.String("model", "sinan.model", "hybrid model path (policy=sinan)")
+		load     = flag.Float64("load", 1000, "emulated users (≈ RPS)")
+		diurnal  = flag.Bool("diurnal", false, "diurnal load between load/4 and load")
+		duration = flag.Float64("duration", 180, "simulated seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trace    = flag.Bool("trace", false, "print the per-interval trace")
+		pd       = flag.Float64("pd", 0, "override scale-down violation threshold")
+		pu       = flag.Float64("pu", 0, "override scale-up violation threshold")
+		connect  = flag.String("connect", "", "prediction-service address (use a remote model via sinan-serve)")
+		csvPath  = flag.String("csv", "", "write the per-interval trace as CSV to this file")
+		platform = flag.String("platform", "local", "platform: local | gce")
+	)
+	flag.Parse()
+
+	var opts []apps.Option
+	if *platform == "gce" {
+		opts = append(opts, apps.WithPlatform(apps.GCE))
+	}
+	var app *apps.App
+	switch *appName {
+	case "hotel":
+		app = apps.NewHotelReservation(opts...)
+	case "social":
+		app = apps.NewSocialNetwork(opts...)
+	default:
+		log.Fatalf("unknown app %q", *appName)
+	}
+
+	var pol runner.Policy
+	switch *policy {
+	case "sinan":
+		var pred core.Predictor
+		if *connect != "" {
+			c, err := predsvc.Dial(*connect)
+			if err != nil {
+				log.Fatalf("connecting to prediction service: %v", err)
+			}
+			defer c.Close()
+			pred = c
+		} else {
+			m, err := core.LoadHybrid(*model)
+			if err != nil {
+				log.Fatalf("loading model: %v (train one with sinan-train)", err)
+			}
+			pred = m
+		}
+		pol = core.NewScheduler(app, pred, core.SchedulerOptions{Pd: *pd, Pu: *pu})
+	case "autoscale-opt":
+		pol = baselines.NewAutoScaleOpt()
+	case "autoscale-cons":
+		pol = baselines.NewAutoScaleCons()
+	case "powerchief":
+		pol = baselines.NewPowerChief()
+	case "static":
+		pol = &runner.Static{Label: "static-max"}
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	var pattern workload.Pattern = workload.Constant(*load)
+	if *diurnal {
+		pattern = workload.Diurnal{Min: *load / 4, Max: *load, Period: *duration}
+	}
+
+	fmt.Fprintf(os.Stderr, "running %s under %s at %.0f users for %.0fs...\n",
+		app.Name, pol.Name(), *load, *duration)
+	res := runner.Run(runner.Config{
+		App: app, Policy: pol, Pattern: pattern,
+		Duration: *duration, Seed: *seed, Warmup: 15, KeepTrace: true,
+	})
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runner.WriteTraceCSV(f, res.Trace, app.TierNames()); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote trace CSV to %s\n", *csvPath)
+	}
+	if *trace {
+		fmt.Println("t(s)  rps   p99(ms)  pred(ms)  pviol  totalCPU")
+		for _, row := range res.Trace {
+			fmt.Printf("%-5.0f %-5.0f %-8.1f %-9.1f %-6.2f %-8.1f\n",
+				row.Time, row.RPS, row.P99MS, row.PredP99MS, row.PViol, row.Total)
+		}
+	}
+	fmt.Printf("policy=%s users=%.0f meetQoS=%.3f meanCPU=%.1f maxCPU=%.1f completed=%d dropped=%d\n",
+		pol.Name(), *load, res.Meter.MeetProb(), res.Meter.MeanAlloc(), res.Meter.MaxAlloc(),
+		res.Completed, res.Dropped)
+}

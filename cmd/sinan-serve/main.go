@@ -1,0 +1,47 @@
+// Command sinan-serve hosts a trained hybrid model as Sinan's prediction
+// service (the paper runs the models on a dedicated GPU server the
+// centralized scheduler queries each decision interval).
+//
+// Example:
+//
+//	sinan-serve -model hotel.model -addr :9090
+//
+// The service exposes Sinan.Predict and Sinan.Meta over net/rpc; schedulers
+// connect with predsvc.Dial and use the remote model exactly like a local
+// one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"sinan/internal/core"
+	"sinan/internal/predsvc"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "sinan.model", "hybrid model path")
+		addr  = flag.String("addr", "127.0.0.1:9090", "listen address")
+	)
+	flag.Parse()
+
+	m, err := core.LoadHybrid(*model)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	l, _, err := predsvc.ListenAndServe(*addr, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "serving %s on %s (QoS %.0fms, pd=%.3f pu=%.3f)\n",
+		*model, l.Addr(), m.QoSMS, m.Pd, m.Pu)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	l.Close()
+}

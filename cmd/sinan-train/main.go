@@ -1,0 +1,85 @@
+// Command sinan-train fits Sinan's hybrid model (latency CNN + violation
+// Boosted Trees) on a dataset collected with sinan-collect, reports the
+// accuracy metrics of Tables 2–3, and writes the model to disk.
+//
+// Example:
+//
+//	sinan-train -data hotel.ds -qos 200 -out hotel.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"sinan/internal/core"
+	"sinan/internal/dataset"
+	"sinan/internal/nn"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "dataset.gob", "input dataset path")
+		qos     = flag.Float64("qos", 200, "QoS target in ms (200 hotel, 500 social)")
+		epochs  = flag.Int("epochs", 12, "CNN training epochs")
+		lr      = flag.Float64("lr", 0.01, "CNN learning rate")
+		batch   = flag.Int("batch", 256, "CNN batch size")
+		latent  = flag.Int("latent", 32, "latent Lf width")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "sinan.model", "output model path")
+		kind    = flag.String("model", "cnn", "latency model for comparison runs: cnn | mlp | lstm")
+		verbose = flag.Bool("v", false, "log per-epoch training loss")
+	)
+	flag.Parse()
+
+	ds, err := dataset.LoadFile(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset: %d samples, %.1f%% violations, dims %+v\n",
+		ds.Len(), 100*ds.ViolationRate(), ds.D)
+
+	if *kind != "cnn" {
+		// Baseline comparison path: train the requested regressor alone and
+		// report RMSE (Table 2); no BT stage (it needs the CNN latent).
+		var model nn.Regressor
+		rng := rand.New(rand.NewSource(*seed))
+		switch *kind {
+		case "mlp":
+			model = nn.NewMLP(rng, ds.D)
+		case "lstm":
+			model = nn.NewLSTMModel(rng, ds.D)
+		default:
+			log.Fatalf("unknown model %q", *kind)
+		}
+		train, val := ds.Split(0.9, *seed)
+		cfg := nn.TrainConfig{Epochs: *epochs, Batch: *batch, LR: *lr, QoSMS: *qos, Seed: *seed}
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		tm := nn.Train(model, train.Inputs(), train.Targets(), cfg)
+		fmt.Printf("%s: train RMSE %.1f ms, val RMSE %.1f ms, size %.0f KB\n",
+			*kind,
+			tm.RMSE(train.Inputs(), train.Targets()),
+			tm.RMSE(val.Inputs(), val.Targets()),
+			nn.ModelSizeKB(model.Params()))
+		return
+	}
+
+	opts := core.TrainOptions{Seed: *seed, Epochs: *epochs, Batch: *batch, LR: *lr, Latent: *latent}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	m, rep := core.TrainHybrid(ds, *qos, opts)
+	fmt.Printf("CNN : train RMSE %.1f ms, val RMSE %.1f ms, size %.0f KB\n",
+		rep.TrainRMSE, rep.ValRMSE, rep.CNNSizeKB)
+	fmt.Printf("BT  : train acc %.1f%%, val acc %.1f%%, %d trees, val FPR %.1f%% FNR %.1f%%\n",
+		100*rep.TrainAcc, 100*rep.ValAcc, rep.NumTrees, 100*rep.ValFPR, 100*rep.ValFNR)
+	fmt.Printf("thresholds: pd=%.3f pu=%.3f\n", m.Pd, m.Pu)
+	if err := m.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote model to %s\n", *out)
+}

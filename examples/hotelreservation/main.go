@@ -1,0 +1,46 @@
+// Hotel Reservation policy shoot-out: the Fig. 11 comparison at selected
+// loads — Sinan vs. AutoScaleOpt vs. AutoScaleCons vs. PowerChief — on the
+// 17-tier hotel booking application.
+//
+// Run with: go run ./examples/hotelreservation
+package main
+
+import (
+	"fmt"
+
+	"sinan"
+)
+
+func main() {
+	app := sinan.HotelReservation()
+
+	fmt.Println("collecting + training (one-off, ~a minute)...")
+	ds := sinan.Collect(app, sinan.CollectOptions{Duration: 2000, Seed: 3})
+	model, rep := sinan.Train(ds, app.QoSMS, sinan.TrainOptions{Seed: 3, Epochs: 12})
+	fmt.Printf("model: CNN val RMSE %.1fms, BT val acc %.1f%%\n\n", rep.ValRMSE, 100*rep.ValAcc)
+
+	loads := []float64{1000, 2200, 3400}
+	fmt.Printf("%-8s %-16s %-12s %-10s %-10s\n", "users", "policy", "P(meet QoS)", "mean CPU", "max CPU")
+	for _, load := range loads {
+		policies := []struct {
+			name string
+			mk   func() sinan.Policy
+		}{
+			{"Sinan", func() sinan.Policy { return sinan.Scheduler(app, model) }},
+			{"AutoScaleOpt", sinan.AutoScaleOpt},
+			{"AutoScaleCons", sinan.AutoScaleCons},
+			{"PowerChief", sinan.PowerChief},
+		}
+		for _, p := range policies {
+			res := sinan.Manage(app, p.mk(), sinan.RunOptions{
+				Load: sinan.Constant(load), Duration: 120, Seed: int64(load), Warmup: 20,
+			})
+			fmt.Printf("%-8.0f %-16s %-12.3f %-10.1f %-10.1f\n",
+				load, p.name, res.Meter.MeetProb(), res.Meter.MeanAlloc(), res.Meter.MaxAlloc())
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape (paper Fig. 11a): Sinan & AutoScaleCons always meet QoS;")
+	fmt.Println("Sinan uses the least CPU among QoS-meeting policies; AutoScaleOpt and")
+	fmt.Println("PowerChief degrade as load approaches 3400+ users.")
+}

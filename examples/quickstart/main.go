@@ -1,0 +1,53 @@
+// Quickstart: the minimal end-to-end Sinan pipeline on Hotel Reservation —
+// explore the allocation space, train the hybrid model, deploy the online
+// scheduler, and compare against leaving the cluster at maximum allocation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sinan"
+)
+
+func main() {
+	app := sinan.HotelReservation()
+	fmt.Printf("app: %s (%d tiers, QoS %.0fms p99)\n", app.Name, len(app.Tiers), app.QoSMS)
+
+	fmt.Println("1/3 collecting training data (bandit exploration)...")
+	ds := sinan.Collect(app, sinan.CollectOptions{Duration: 1500, Seed: 1})
+	fmt.Printf("    %d samples, %.1f%% QoS violations (boundary exploration working)\n",
+		ds.Len(), 100*ds.ViolationRate())
+
+	fmt.Println("2/3 training hybrid model (CNN + Boosted Trees)...")
+	model, rep := sinan.Train(ds, app.QoSMS, sinan.TrainOptions{Seed: 1, Epochs: 10})
+	fmt.Printf("    CNN val RMSE %.1fms, BT val accuracy %.1f%%\n", rep.ValRMSE, 100*rep.ValAcc)
+
+	fmt.Println("3/3 deploying at 2000 users for 120s...")
+	managed := sinan.Manage(app, sinan.Scheduler(app, model), sinan.RunOptions{
+		Load: sinan.Constant(2000), Duration: 120, Seed: 9, Warmup: 20,
+	})
+	static := sinan.Manage(app, sinan.AutoScaleCons(), sinan.RunOptions{
+		Load: sinan.Constant(2000), Duration: 120, Seed: 9, Warmup: 20,
+	})
+
+	fmt.Printf("\n%-16s %-12s %-10s %-10s\n", "policy", "P(meet QoS)", "mean CPU", "max CPU")
+	for _, r := range []struct {
+		name string
+		res  *sinan.Result
+	}{
+		{"Sinan", managed},
+		{"AutoScaleCons", static},
+	} {
+		fmt.Printf("%-16s %-12.3f %-10.1f %-10.1f\n",
+			r.name, r.res.Meter.MeetProb(), r.res.Meter.MeanAlloc(), r.res.Meter.MaxAlloc())
+	}
+	if managed.Meter.MeetProb() < 0.95 {
+		fmt.Fprintln(os.Stderr, "warning: Sinan missed QoS more than expected on this quick run")
+	}
+	saving := 1 - managed.Meter.MeanAlloc()/static.Meter.MeanAlloc()
+	fmt.Printf("\nSinan used %.1f%% less CPU than the conservative autoscaler while meeting QoS.\n",
+		100*saving)
+}

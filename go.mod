@@ -1,0 +1,3 @@
+module sinan
+
+go 1.22

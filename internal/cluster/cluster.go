@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sinan/internal/sim"
+)
+
+// Stats is the per-tier, per-interval resource report a node agent produces.
+// The fields mirror the feature channels the paper reads from Docker's
+// cgroup interface (Sec. 3.1): CPU usage, resident set size, cache memory
+// size, and received/sent packet counts.
+type Stats struct {
+	CPUUsage float64 // cores actually consumed (busy core-seconds / interval)
+	CPULimit float64 // current allocation in cores
+	RSS      float64 // resident set size, MB
+	Cache    float64 // page-cache size, MB
+	NetRx    float64 // packets received during the interval
+	NetTx    float64 // packets sent during the interval
+	QueueLen float64 // instantaneous connection-queue length
+	Stalled  float64 // seconds the tier spent stalled during the interval
+}
+
+// NumStatFeatures is the number of resource channels exported per tier.
+const NumStatFeatures = 6
+
+// Features returns the channels used as ML model input, in a fixed order:
+// cpu usage, cpu limit, rss, cache, net rx, net tx.
+func (s Stats) Features() [NumStatFeatures]float64 {
+	return [NumStatFeatures]float64{s.CPUUsage, s.CPULimit, s.RSS, s.Cache, s.NetRx, s.NetTx}
+}
+
+// Cluster is a set of tiers driven by one simulation engine.
+type Cluster struct {
+	Eng    *sim.Engine
+	rng    *sim.RNG
+	tiers  []*Tier
+	byName map[string]*Tier
+
+	completed   int64
+	droppedReqs int64
+	lastStats   float64
+
+	// tracing (Jaeger substitute); see trace.go
+	tracer    Tracer
+	traceRate float64
+	traceRNG  *sim.RNG
+	reqSeq    int64
+}
+
+// New creates a cluster with the given tier configurations. Tier order is
+// preserved and becomes the row order of model inputs.
+func New(eng *sim.Engine, rng *sim.RNG, cfgs []TierConfig) *Cluster {
+	c := &Cluster{Eng: eng, rng: rng, byName: make(map[string]*Tier, len(cfgs))}
+	for i, cfg := range cfgs {
+		if _, dup := c.byName[cfg.Name]; dup {
+			panic(fmt.Sprintf("cluster: duplicate tier %q", cfg.Name))
+		}
+		t := newTier(eng, rng.Fork(), cfg, i)
+		c.tiers = append(c.tiers, t)
+		c.byName[cfg.Name] = t
+	}
+	return c
+}
+
+// Tiers returns the tiers in model order.
+func (c *Cluster) Tiers() []*Tier { return c.tiers }
+
+// NumTiers returns the number of tiers.
+func (c *Cluster) NumTiers() int { return len(c.tiers) }
+
+// Tier returns the named tier, or nil.
+func (c *Cluster) Tier(name string) *Tier { return c.byName[name] }
+
+// Alloc returns the current per-tier CPU allocation vector.
+func (c *Cluster) Alloc() []float64 {
+	out := make([]float64, len(c.tiers))
+	for i, t := range c.tiers {
+		out[i] = t.cpuLimit
+	}
+	return out
+}
+
+// SetAlloc applies a per-tier CPU allocation vector.
+func (c *Cluster) SetAlloc(cores []float64) {
+	if len(cores) != len(c.tiers) {
+		panic("cluster: allocation vector length mismatch")
+	}
+	for i, t := range c.tiers {
+		t.SetCPULimit(cores[i])
+	}
+}
+
+// TotalAlloc returns the aggregate CPU allocation across tiers.
+func (c *Cluster) TotalAlloc() float64 {
+	sum := 0.0
+	for _, t := range c.tiers {
+		sum += t.cpuLimit
+	}
+	return sum
+}
+
+// MaxAlloc returns the allocation vector with every tier at its maximum.
+func (c *Cluster) MaxAlloc() []float64 {
+	out := make([]float64, len(c.tiers))
+	for i, t := range c.tiers {
+		out[i] = t.cfg.MaxCPU
+	}
+	return out
+}
+
+// ReadStats returns per-tier statistics accumulated since the previous call
+// and resets the interval accumulators. This is the node-agent read Sinan
+// performs once per decision interval.
+func (c *Cluster) ReadStats() []Stats {
+	now := c.Eng.Now()
+	interval := now - c.lastStats
+	c.lastStats = now
+	if interval <= 0 {
+		interval = 1
+	}
+	out := make([]Stats, len(c.tiers))
+	for i, t := range c.tiers {
+		t.advance()
+		out[i] = Stats{
+			CPUUsage: t.busyCPU / interval,
+			CPULimit: t.cpuLimit,
+			RSS:      t.rss(),
+			Cache:    t.cache(),
+			NetRx:    float64(t.netRx),
+			NetTx:    float64(t.netTx),
+			QueueLen: float64(t.QueueLen()),
+			Stalled:  t.stallTotal,
+		}
+		t.busyCPU = 0
+		t.netRx = 0
+		t.netTx = 0
+		t.servedIntv = 0
+		t.stallTotal = 0
+	}
+	return out
+}
+
+// Completed returns the cumulative number of completed requests.
+func (c *Cluster) Completed() int64 { return c.completed }
+
+// DroppedRequests returns the cumulative number of requests dropped because
+// some tier's admission queue overflowed.
+func (c *Cluster) DroppedRequests() int64 { return c.droppedReqs }

@@ -1,0 +1,158 @@
+package cluster
+
+import "fmt"
+
+// Stage is one node of a request's call tree: CPU demand executed at a tier,
+// followed by downstream RPC calls (sequential or parallel). A request holds
+// a connection slot at the stage's tier for the duration of its subtree, so
+// slow downstream tiers back-pressure their callers.
+type Stage struct {
+	Tier       string   // tier name
+	Work       float64  // mean CPU-seconds of demand at this tier
+	Packets    float64  // extra payload packets per call (on top of 1 per RPC)
+	WriteBytes float64  // write volume recorded at the tier (drives RSS growth)
+	Parallel   bool     // children issued concurrently rather than in order
+	Children   []*Stage // downstream calls made after this stage's CPU work
+}
+
+// Seq is a convenience constructor for a stage with sequential children.
+func Seq(tier string, work float64, children ...*Stage) *Stage {
+	return &Stage{Tier: tier, Work: work, Children: children}
+}
+
+// Par is a convenience constructor for a stage with parallel children.
+func Par(tier string, work float64, children ...*Stage) *Stage {
+	return &Stage{Tier: tier, Work: work, Parallel: true, Children: children}
+}
+
+// Tiers lists the distinct tier names reachable from the stage.
+func (s *Stage) Tiers() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Stage)
+	walk = func(st *Stage) {
+		if !seen[st.Tier] {
+			seen[st.Tier] = true
+			out = append(out, st.Tier)
+		}
+		for _, ch := range st.Children {
+			walk(ch)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// Submit injects a request executing the given call tree. onDone is invoked
+// exactly once, with the end-to-end latency in seconds and whether the
+// request was dropped at some saturated admission queue.
+func (c *Cluster) Submit(root *Stage, onDone func(latency float64, dropped bool)) {
+	start := c.Eng.Now()
+	dropped := false
+	c.reqSeq++
+	req := c.reqSeq
+	traced := c.tracer != nil && c.traceRate > 0 &&
+		(c.traceRate >= 1 || c.traceRNG.Float64() < c.traceRate)
+	c.execStage(root, nil, req, traced, func(ok bool) {
+		if !ok {
+			dropped = true
+		}
+		c.completed++
+		if dropped {
+			c.droppedReqs++
+		}
+		if onDone != nil {
+			onDone(c.Eng.Now()-start, dropped)
+		}
+	})
+}
+
+// execStage runs one stage: acquire a slot, execute CPU work under processor
+// sharing, run children, then release the slot. done(ok) fires exactly once.
+func (c *Cluster) execStage(s *Stage, caller *Tier, req int64, traced bool, done func(ok bool)) {
+	t := c.byName[s.Tier]
+	if t == nil {
+		panic(fmt.Sprintf("cluster: unknown tier %q in call tree", s.Tier))
+	}
+	// RPC request packets: caller sends, callee receives.
+	pkts := int64(1 + s.Packets)
+	t.netRx += pkts
+	if caller != nil {
+		caller.netTx += pkts
+	}
+	enqueue := c.Eng.Now()
+	span := Span{Req: req, Tier: s.Tier, Enqueue: enqueue}
+	finish := func(ok bool) {
+		// RPC response packets: callee replies, caller receives.
+		t.netTx += pkts
+		if caller != nil {
+			caller.netRx += pkts
+		}
+		t.releaseSlot()
+		if traced {
+			span.End = c.Eng.Now()
+			span.Dropped = !ok
+			c.tracer.Record(span)
+		}
+		done(ok)
+	}
+	admitted := t.acquireSlot(func() {
+		span.Start = c.Eng.Now()
+		if s.WriteBytes > 0 {
+			t.recordWrite(s.WriteBytes)
+		}
+		work := 0.0
+		if s.Work > 0 {
+			work = t.rng.LogNormal(s.Work, t.cfg.WorkCV)
+		}
+		t.execWork(work, func() {
+			c.runChildren(s, t, req, traced, finish)
+		})
+	})
+	if !admitted {
+		if traced {
+			span.Start = c.Eng.Now()
+			span.End = span.Start
+			span.Dropped = true
+			c.tracer.Record(span)
+		}
+		done(false)
+	}
+}
+
+// runChildren executes a stage's downstream calls and then invokes done with
+// the conjunction of their outcomes.
+func (c *Cluster) runChildren(s *Stage, t *Tier, req int64, traced bool, done func(ok bool)) {
+	n := len(s.Children)
+	if n == 0 {
+		done(true)
+		return
+	}
+	if s.Parallel {
+		remaining := n
+		allOK := true
+		for _, ch := range s.Children {
+			c.execStage(ch, t, req, traced, func(ok bool) {
+				if !ok {
+					allOK = false
+				}
+				remaining--
+				if remaining == 0 {
+					done(allOK)
+				}
+			})
+		}
+		return
+	}
+	var next func(i int, okSoFar bool)
+	next = func(i int, okSoFar bool) {
+		if i == n {
+			done(okSoFar)
+			return
+		}
+		c.execStage(s.Children[i], t, req, traced, func(ok bool) {
+			next(i+1, okSoFar && ok)
+		})
+	}
+	next(0, true)
+}

@@ -1,0 +1,351 @@
+// Package cluster models a microservice cluster as a network of
+// processor-sharing queues. Each tier runs under a cgroup-style fractional
+// CPU limit; requests execute call trees across tiers, holding connection
+// slots while their subtrees run, which propagates backpressure upstream
+// exactly as RPC thread pools do in real deployments. The model exposes the
+// same per-tier statistics Sinan collects from Docker's cgroup interface:
+// CPU usage, resident set size, page-cache size, and network packet counts.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"sinan/internal/sim"
+)
+
+const workEps = 1e-9
+
+// TierConfig describes one microservice tier.
+type TierConfig struct {
+	Name     string
+	Replicas int // number of container replicas
+
+	// CPU limits in cores. The allocation granularity Sinan uses is 0.2
+	// cores; MinCPU/MaxCPU bound what the schedulers may set.
+	MinCPU, MaxCPU, InitCPU float64
+
+	// ConnsPerReplica bounds concurrent requests per replica (thread/
+	// connection pool). Requests beyond the bound wait in a FIFO queue.
+	ConnsPerReplica int
+
+	// MaxQueue bounds the admission queue; requests arriving beyond it are
+	// dropped (and recorded by the caller as QoS violations).
+	MaxQueue int
+
+	// Memory model (MB). RSS = BaseRSS + RSSPerConn*busy + RSSPerQueued*queued
+	// (+ write-driven growth for stateful tiers). Cache approaches CacheMax
+	// as the tier serves requests (page cache warming for DB tiers).
+	BaseRSS, RSSPerConn, RSSPerQueued float64
+	RSSPerWrite, RSSWriteCap          float64
+	CacheBase, CacheMax, CacheTau     float64
+
+	// WorkCV is the coefficient of variation of sampled CPU demands.
+	WorkCV float64
+
+	// Log-sync stall injection (the Redis AOF pathology of Sec. 5.6): every
+	// StallInterval seconds the tier stops serving for StallBase +
+	// StallPerMB*RSS seconds (fork + copy-on-write of the address space).
+	StallInterval, StallBase, StallPerMB float64
+}
+
+func (c TierConfig) withDefaults() TierConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.ConnsPerReplica <= 0 {
+		c.ConnsPerReplica = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 20000
+	}
+	if c.MinCPU <= 0 {
+		c.MinCPU = 0.2
+	}
+	if c.MaxCPU <= 0 {
+		c.MaxCPU = 8
+	}
+	if c.InitCPU <= 0 {
+		c.InitCPU = c.MaxCPU
+	}
+	if c.WorkCV <= 0 {
+		c.WorkCV = 0.5
+	}
+	if c.BaseRSS <= 0 {
+		c.BaseRSS = 50
+	}
+	if c.CacheTau <= 0 {
+		c.CacheTau = 5000
+	}
+	return c
+}
+
+// psJob is one unit of CPU work being processor-shared on a tier. Jobs all
+// progress at the same instantaneous rate min(1, L/n), so completion order
+// is fixed at admission: the tier tracks virtual work V(t) = ∫rate dt and a
+// job admitted at V0 with demand w completes when V reaches V0 + w.
+type psJob struct {
+	vFinish float64
+	done    func()
+}
+
+type jobHeap []*psJob
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return h[i].vFinish < h[j].vFinish }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*psJob)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// Tier is the runtime state of one microservice tier.
+type Tier struct {
+	cfg   TierConfig
+	eng   *sim.Engine
+	rng   *sim.RNG
+	index int // position in the cluster's tier order
+
+	cpuLimit float64
+
+	active     jobHeap
+	vwork      float64 // virtual work: ∫ per-job rate dt
+	lastUpdate float64
+	completion *sim.Event
+
+	slots   int
+	inUse   int
+	waitq   []func() // waiting slot acquisitions, FIFO from qhead
+	qhead   int
+	dropped int64
+
+	stalled    bool
+	stallTotal float64 // stalled seconds in current interval
+
+	// interval accumulators, reset by ReadStats
+	busyCPU    float64 // core-seconds consumed
+	netRx      int64
+	netTx      int64
+	servedIntv int64
+
+	servedTotal int64
+	writeBytes  float64 // total write volume driving RSS growth (stateful tiers)
+	maxQueueLen int
+}
+
+func newTier(eng *sim.Engine, rng *sim.RNG, cfg TierConfig, index int) *Tier {
+	cfg = cfg.withDefaults()
+	t := &Tier{
+		cfg:      cfg,
+		eng:      eng,
+		rng:      rng,
+		index:    index,
+		cpuLimit: cfg.InitCPU,
+		slots:    cfg.ConnsPerReplica * cfg.Replicas,
+	}
+	if cfg.StallInterval > 0 {
+		eng.After(cfg.StallInterval, t.stall)
+	}
+	return t
+}
+
+// Name returns the tier name.
+func (t *Tier) Name() string { return t.cfg.Name }
+
+// Config returns the tier's configuration.
+func (t *Tier) Config() TierConfig { return t.cfg }
+
+// CPULimit returns the current CPU allocation in cores.
+func (t *Tier) CPULimit() float64 { return t.cpuLimit }
+
+// QueueLen returns the number of requests waiting for a connection slot.
+func (t *Tier) QueueLen() int { return len(t.waitq) - t.qhead }
+
+// Inflight returns the number of requests holding a connection slot.
+func (t *Tier) Inflight() int { return t.inUse }
+
+// Active returns the number of jobs currently consuming CPU.
+func (t *Tier) Active() int { return len(t.active) }
+
+// Dropped returns the cumulative number of requests dropped at admission.
+func (t *Tier) Dropped() int64 { return t.dropped }
+
+// SetCPULimit changes the tier's CPU allocation, clamped to [MinCPU, MaxCPU]
+// and quantised to the 0.1-core granularity the Docker API accepts.
+func (t *Tier) SetCPULimit(cores float64) {
+	cores = math.Round(cores*10) / 10
+	if cores < t.cfg.MinCPU {
+		cores = t.cfg.MinCPU
+	}
+	if cores > t.cfg.MaxCPU {
+		cores = t.cfg.MaxCPU
+	}
+	if cores == t.cpuLimit {
+		return
+	}
+	t.advance()
+	t.cpuLimit = cores
+	t.reschedule()
+}
+
+// rate returns the per-job service rate in core-seconds per second.
+func (t *Tier) rate() float64 {
+	n := len(t.active)
+	if n == 0 || t.stalled {
+		return 0
+	}
+	return math.Min(1, t.cpuLimit/float64(n))
+}
+
+// advance applies elapsed processor-sharing progress up to the current time.
+func (t *Tier) advance() {
+	now := t.eng.Now()
+	dt := now - t.lastUpdate
+	t.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	if t.stalled {
+		t.stallTotal += dt
+		return
+	}
+	n := len(t.active)
+	if n == 0 {
+		return
+	}
+	t.vwork += t.rate() * dt
+	t.busyCPU += math.Min(t.cpuLimit, float64(n)) * dt
+}
+
+// reschedule recomputes the next completion event after any change to the
+// active set, the CPU limit, or the stall state.
+func (t *Tier) reschedule() {
+	t.eng.Cancel(t.completion)
+	t.completion = nil
+	r := t.rate()
+	if r == 0 || len(t.active) == 0 {
+		return
+	}
+	d := (t.active[0].vFinish - t.vwork) / r
+	if d < 0 {
+		d = 0
+	}
+	t.completion = t.eng.After(d, t.complete)
+}
+
+// complete retires all jobs whose work has finished.
+func (t *Tier) complete() {
+	t.advance()
+	var done []func()
+	for len(t.active) > 0 && t.active[0].vFinish <= t.vwork+workEps {
+		j := heap.Pop(&t.active).(*psJob)
+		done = append(done, j.done)
+	}
+	t.reschedule()
+	for _, fn := range done {
+		fn()
+	}
+}
+
+// execWork runs cpuSeconds of CPU demand under processor sharing and calls
+// done when it completes. Zero work completes via an immediate event to keep
+// callback ordering uniform.
+func (t *Tier) execWork(cpuSeconds float64, done func()) {
+	if cpuSeconds <= 0 {
+		t.eng.After(0, done)
+		return
+	}
+	t.advance()
+	heap.Push(&t.active, &psJob{vFinish: t.vwork + cpuSeconds, done: done})
+	t.servedIntv++
+	t.servedTotal++
+	t.reschedule()
+}
+
+// acquireSlot obtains a connection slot, queueing if the pool is saturated.
+// It reports false if the admission queue is full and the request is dropped.
+func (t *Tier) acquireSlot(granted func()) bool {
+	if t.inUse < t.slots {
+		t.inUse++
+		granted()
+		return true
+	}
+	if t.QueueLen() >= t.cfg.MaxQueue {
+		t.dropped++
+		return false
+	}
+	t.waitq = append(t.waitq, granted)
+	if t.QueueLen() > t.maxQueueLen {
+		t.maxQueueLen = t.QueueLen()
+	}
+	return true
+}
+
+// releaseSlot frees a connection slot and admits the next waiter, if any.
+func (t *Tier) releaseSlot() {
+	if t.qhead < len(t.waitq) {
+		next := t.waitq[t.qhead]
+		t.waitq[t.qhead] = nil
+		t.qhead++
+		// Compact once the dead prefix dominates, to bound memory.
+		if t.qhead > 1024 && t.qhead*2 > len(t.waitq) {
+			t.waitq = append(t.waitq[:0], t.waitq[t.qhead:]...)
+			t.qhead = 0
+		}
+		next()
+		return
+	}
+	t.inUse--
+}
+
+// stall begins a log-sync pause; service resumes after the stall duration.
+func (t *Tier) stall() {
+	t.advance()
+	t.stalled = true
+	t.reschedule()
+	dur := t.cfg.StallBase + t.cfg.StallPerMB*t.rss()
+	t.eng.After(dur, func() {
+		t.advance()
+		t.stalled = false
+		t.reschedule()
+	})
+	t.eng.After(t.cfg.StallInterval, t.stall)
+}
+
+// recordWrite accumulates write volume for RSS growth on stateful tiers.
+func (t *Tier) recordWrite(bytes float64) {
+	t.writeBytes += bytes
+}
+
+func (t *Tier) rss() float64 {
+	rss := t.cfg.BaseRSS +
+		t.cfg.RSSPerConn*float64(t.inUse) +
+		t.cfg.RSSPerQueued*float64(t.QueueLen())
+	if t.cfg.RSSPerWrite > 0 {
+		g := t.cfg.RSSPerWrite * t.writeBytes
+		if t.cfg.RSSWriteCap > 0 && g > t.cfg.RSSWriteCap {
+			g = t.cfg.RSSWriteCap
+		}
+		rss += g
+	}
+	return rss
+}
+
+func (t *Tier) cache() float64 {
+	if t.cfg.CacheMax <= 0 {
+		return t.cfg.CacheBase
+	}
+	warm := 1 - math.Exp(-float64(t.servedTotal)/t.cfg.CacheTau)
+	return t.cfg.CacheBase + (t.cfg.CacheMax-t.cfg.CacheBase)*warm
+}
+
+func (t *Tier) String() string {
+	return fmt.Sprintf("tier(%s cpu=%.1f active=%d queued=%d)",
+		t.cfg.Name, t.cpuLimit, len(t.active), t.QueueLen())
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import "sort"
+
+// Span is one traced RPC stage execution, the simulator's stand-in for a
+// Jaeger span (Fig. 8 of the paper collects metrics through Docker and
+// Jaeger). Enqueue is when the request asked the tier for a connection
+// slot, Start when CPU service began, End when the stage's subtree
+// finished. Queue wait is Start − Enqueue.
+type Span struct {
+	Req     int64
+	Tier    string
+	Enqueue float64
+	Start   float64
+	End     float64
+	Dropped bool
+}
+
+// QueueWait returns the connection-slot wait in seconds.
+func (s Span) QueueWait() float64 { return s.Start - s.Enqueue }
+
+// Duration returns the stage's total duration (service + downstream).
+func (s Span) Duration() float64 { return s.End - s.Enqueue }
+
+// Tracer receives sampled spans. Implementations must not retain the Span
+// beyond the call unless they copy it (it is passed by value, so the
+// default collector just appends).
+type Tracer interface {
+	Record(Span)
+}
+
+// EnableTracing attaches a tracer sampling the given fraction of requests
+// (the paper notes production tracing uses sampling). All stages of a
+// sampled request are recorded. rate ≤ 0 disables tracing; rate ≥ 1 traces
+// everything. Sampling decisions are deterministic given the cluster seed.
+func (c *Cluster) EnableTracing(t Tracer, rate float64) {
+	c.tracer = t
+	c.traceRate = rate
+	if c.traceRNG == nil {
+		c.traceRNG = c.rng.Fork()
+	}
+}
+
+// SpanCollector is a Tracer that accumulates spans in memory and computes
+// per-tier breakdowns.
+type SpanCollector struct {
+	Spans []Span
+}
+
+// Record implements Tracer.
+func (sc *SpanCollector) Record(s Span) { sc.Spans = append(sc.Spans, s) }
+
+// Reset discards collected spans.
+func (sc *SpanCollector) Reset() { sc.Spans = sc.Spans[:0] }
+
+// TierBreakdown is a per-tier latency decomposition from traced spans.
+type TierBreakdown struct {
+	Tier          string
+	Count         int
+	MeanQueueWait float64 // seconds
+	MeanDuration  float64 // seconds (service + downstream subtree)
+	MaxQueueWait  float64
+	P99QueueWait  float64
+}
+
+// Breakdown aggregates the collected spans per tier, sorted by mean queue
+// wait descending — the tier at the top is where requests spend the most
+// time waiting for admission (the symptom PowerChief reacts to; Sinan's
+// models decide whether it is also the cause).
+func (sc *SpanCollector) Breakdown() []TierBreakdown {
+	byTier := map[string][]Span{}
+	for _, s := range sc.Spans {
+		if s.Dropped {
+			continue
+		}
+		byTier[s.Tier] = append(byTier[s.Tier], s)
+	}
+	var out []TierBreakdown
+	for tier, spans := range byTier {
+		b := TierBreakdown{Tier: tier, Count: len(spans)}
+		waits := make([]float64, len(spans))
+		for i, s := range spans {
+			w := s.QueueWait()
+			waits[i] = w
+			b.MeanQueueWait += w
+			b.MeanDuration += s.Duration()
+			if w > b.MaxQueueWait {
+				b.MaxQueueWait = w
+			}
+		}
+		n := float64(len(spans))
+		b.MeanQueueWait /= n
+		b.MeanDuration /= n
+		sort.Float64s(waits)
+		idx := int(0.99*float64(len(waits))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		b.P99QueueWait = waits[idx]
+		out = append(out, b)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].MeanQueueWait != out[b].MeanQueueWait {
+			return out[a].MeanQueueWait > out[b].MeanQueueWait
+		}
+		return out[a].Tier < out[b].Tier
+	})
+	return out
+}

@@ -1,0 +1,360 @@
+// Package core implements Sinan proper: the hybrid ML model of Sec. 3 — a
+// CNN short-term latency predictor feeding its latent vector Lf into a
+// Boosted Trees long-term violation predictor — and the QoS-aware online
+// scheduler of Sec. 4.3 that uses the model to pick the cheapest safe
+// per-tier CPU allocation every decision interval.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"sinan/internal/boost"
+	"sinan/internal/dataset"
+	"sinan/internal/nn"
+	"sinan/internal/tensor"
+)
+
+// HybridModel bundles the two-stage predictor: the CNN estimates the next
+// interval's tail latencies (p95–p99) and exposes the latent Lf; the
+// Boosted Trees classifier maps Lf ⊕ candidate allocation to the probability
+// of a QoS violation within the next K intervals.
+type HybridModel struct {
+	Lat   *nn.TrainedModel
+	Viol  *boost.Model
+	D     nn.Dims
+	K     int
+	QoSMS float64
+
+	// Validation statistics used by the scheduler's filters (Sec. 4.3).
+	RMSEValid float64
+	Pd, Pu    float64
+}
+
+// TrainReport summarises hybrid training, mirroring Tables 2 and 3.
+type TrainReport struct {
+	TrainRMSE, ValRMSE float64 // CNN, ms, whole validation set
+	// ValRMSESubQoS is the validation RMSE restricted to samples whose true
+	// p99 is below QoS — the accuracy that matters for the scheduler's
+	// latency filter, and the margin it subtracts from the QoS target.
+	ValRMSESubQoS          float64
+	CNNSizeKB              float64
+	TrainAcc, ValAcc       float64 // Boosted Trees
+	ValFPR, ValFNR         float64
+	NumTrees               int
+	TrainSamples, ValSamps int
+}
+
+// TrainOptions controls hybrid training.
+type TrainOptions struct {
+	Seed      int64
+	Epochs    int
+	Batch     int
+	LR        float64
+	Latent    int
+	Trees     boost.Config
+	TrainFrac float64
+	Log       io.Writer
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 12
+	}
+	if o.Batch <= 0 {
+		o.Batch = 256
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+	if o.Latent <= 0 {
+		o.Latent = 32
+	}
+	if o.TrainFrac == 0 {
+		o.TrainFrac = 0.9
+	}
+	if o.Trees.NumTrees == 0 {
+		o.Trees = boost.Config{NumTrees: 200, MaxDepth: 5, EarlyStopping: 25}
+	}
+	return o
+}
+
+// TrainHybrid fits the CNN and then the Boosted Trees on the CNN's latent
+// features (Sec. 3.2: "we first train the CNN and then BT using the
+// extracted latent variable"), splitting the dataset 9:1 into train and
+// validation after shuffling (Sec. 5.1). The scheduler thresholds p_u and
+// p_d are calibrated on the validation split so false negatives stay ≤ 1%.
+func TrainHybrid(ds *dataset.Dataset, qosMS float64, opts TrainOptions) (*HybridModel, TrainReport) {
+	opts = opts.withDefaults()
+	train, val := ds.Split(opts.TrainFrac, opts.Seed)
+
+	cnn := nn.NewLatencyCNN(rand.New(rand.NewSource(opts.Seed)), ds.D, opts.Latent)
+	tm := nn.Train(cnn, train.Inputs(), train.Targets(), nn.TrainConfig{
+		Epochs: opts.Epochs, Batch: opts.Batch, LR: opts.LR,
+		QoSMS: qosMS, Seed: opts.Seed, Log: opts.Log,
+	})
+
+	rep := TrainReport{
+		TrainSamples: train.Len(),
+		ValSamps:     val.Len(),
+		TrainRMSE:    tm.RMSE(train.Inputs(), train.Targets()),
+		ValRMSE:      tm.RMSE(val.Inputs(), val.Targets()),
+		CNNSizeKB:    nn.ModelSizeKB(cnn.Params()),
+	}
+	if sub := val.FilterByP99(qosMS); sub.Len() > 0 {
+		rep.ValRMSESubQoS = tm.RMSE(sub.Inputs(), sub.Targets())
+	} else {
+		rep.ValRMSESubQoS = rep.ValRMSE
+	}
+
+	// Boosted Trees on Lf ⊕ allocation, with positive-class weighting so the
+	// rare violation samples are not drowned out.
+	trX, trY := btFeatures(tm, train)
+	vaX, vaY := btFeatures(tm, val)
+	treeCfg := opts.Trees
+	if treeCfg.PosWeight == 0 {
+		pos := 0
+		for _, v := range trY {
+			if v {
+				pos++
+			}
+		}
+		if pos > 0 && pos < len(trY) {
+			treeCfg.PosWeight = float64(len(trY)-pos) / float64(pos)
+		}
+	}
+	bt := boost.Train(trX, trY, treeCfg, vaX, vaY)
+	rep.TrainAcc = 1 - bt.ErrorRate(trX, trY)
+	rep.ValAcc = 1 - bt.ErrorRate(vaX, vaY)
+	rep.ValFPR, rep.ValFNR = bt.Confusion(vaX, vaY)
+	rep.NumTrees = bt.NumTrees()
+
+	m := &HybridModel{
+		Lat: tm, Viol: bt, D: ds.D, K: ds.K, QoSMS: qosMS,
+		RMSEValid: rep.ValRMSESubQoS,
+	}
+	m.Pd, m.Pu = calibrateThresholds(bt, vaX, vaY)
+	return m, rep
+}
+
+// btFeatures builds the Boosted Trees design matrix: the CNN latent Lf,
+// the candidate allocation vector, and the per-tier prospective utilization
+// (latest CPU usage divided by the candidate allocation). The utilization
+// features make the classifier directly sensitive to the examined
+// allocation, so scale-up candidates genuinely lower the predicted
+// violation probability.
+func btFeatures(tm *nn.TrainedModel, ds *dataset.Dataset) ([][]float64, []bool) {
+	in := ds.Inputs()
+	_, latent := tm.PredictWithLatent(in)
+	if latent == nil {
+		panic("core: latency model does not expose a latent vector")
+	}
+	n := ds.Len()
+	X := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = btRow(latent, in, ds.D, i)
+	}
+	return X, append([]bool(nil), ds.YViol...)
+}
+
+// btRow assembles one BT feature row for sample i of a batch.
+func btRow(latent *tensor.Dense, in nn.Inputs, d nn.Dims, i int) []float64 {
+	l := latent.Shape[1]
+	row := make([]float64, l+2*d.N)
+	copy(row, latent.Data[i*l:(i+1)*l])
+	rc := in.RC.Data[i*d.N : (i+1)*d.N]
+	copy(row[l:], rc)
+	rhRow := d.F * d.N * d.T
+	for t := 0; t < d.N; t++ {
+		// CPU-usage channel (f=0), latest timestep.
+		usage := in.RH.Data[i*rhRow+t*d.T+d.T-1]
+		alloc := rc[t]
+		if alloc < 1e-9 {
+			alloc = 1e-9
+		}
+		row[l+d.N+t] = usage / alloc
+	}
+	return row
+}
+
+// calibrateThresholds picks p_u as the largest threshold keeping validation
+// false negatives at or below 1% of violation samples (Sec. 4.3), and p_d
+// below it to favour stable allocations.
+func calibrateThresholds(bt *boost.Model, X [][]float64, y []bool) (pd, pu float64) {
+	var violProbs []float64
+	for i, x := range X {
+		if y[i] {
+			violProbs = append(violProbs, bt.PredictProb(x))
+		}
+	}
+	if len(violProbs) == 0 {
+		return 0.25, 0.5
+	}
+	sort.Float64s(violProbs)
+	// Threshold under which ≤1% of true violations fall. A noisy classifier
+	// would drive this to zero and freeze all reclamation, so the threshold
+	// is floored: below it the scheduler's runtime safety net (emergency
+	// upscale on unpredicted violations) carries the residual risk.
+	idx := len(violProbs) / 100
+	pu = violProbs[idx]
+	if pu < 0.15 {
+		pu = 0.15
+	}
+	if pu > 0.9 {
+		pu = 0.9
+	}
+	pd = pu / 2
+	return pd, pu
+}
+
+// Meta implements the scheduler's Predictor interface.
+func (m *HybridModel) Meta() ModelMeta {
+	return ModelMeta{D: m.D, QoSMS: m.QoSMS, RMSEValid: m.RMSEValid, Pd: m.Pd, Pu: m.Pu}
+}
+
+// PredictBatch evaluates candidate allocations sharing one history window:
+// inputs must already be assembled as a batch with identical RH/LH rows and
+// per-candidate RC rows. It returns per-candidate predicted latencies (ms,
+// [B, M]) and violation probabilities.
+func (m *HybridModel) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
+	pred, latent := m.Lat.PredictWithLatent(in)
+	b := in.Batch()
+	pv := make([]float64, b)
+	for i := 0; i < b; i++ {
+		pv[i] = m.Viol.PredictProb(btRow(latent, in, m.D, i))
+	}
+	return pred, pv
+}
+
+// RebuildHybrid constructs a hybrid model around an existing (typically
+// fine-tuned) latency CNN: the Boosted Trees stage is retrained on the
+// CNN's latents over the given dataset and the scheduler thresholds are
+// recalibrated. This is the transfer-learning path of Sec. 5.4/5.5 — the
+// CNN adapts with a small learning rate, the cheap BT is refit outright.
+func RebuildHybrid(tm *nn.TrainedModel, ds *dataset.Dataset, qosMS float64) *HybridModel {
+	train, val := ds.Split(0.9, 17)
+	trX, trY := btFeatures(tm, train)
+	vaX, vaY := btFeatures(tm, val)
+	cfg := boost.Config{NumTrees: 200, MaxDepth: 5, EarlyStopping: 25}
+	pos := 0
+	for _, v := range trY {
+		if v {
+			pos++
+		}
+	}
+	if pos > 0 && pos < len(trY) {
+		cfg.PosWeight = float64(len(trY)-pos) / float64(pos)
+	}
+	bt := boost.Train(trX, trY, cfg, vaX, vaY)
+	m := &HybridModel{Lat: tm, Viol: bt, D: ds.D, K: ds.K, QoSMS: qosMS}
+	if sub := val.FilterByP99(qosMS); sub.Len() > 0 {
+		m.RMSEValid = tm.RMSE(sub.Inputs(), sub.Targets())
+	} else {
+		m.RMSEValid = tm.RMSE(val.Inputs(), val.Targets())
+	}
+	m.Pd, m.Pu = calibrateThresholds(bt, vaX, vaY)
+	return m
+}
+
+// ViolationError returns the BT misclassification rate (threshold 0.5) on
+// a dataset, using the hybrid's own latent features.
+func (m *HybridModel) ViolationError(ds *dataset.Dataset) float64 {
+	X, y := btFeatures(m.Lat, ds)
+	return m.Viol.ErrorRate(X, y)
+}
+
+// RetrainOptions controls incremental retraining.
+type RetrainOptions struct {
+	Epochs int     // fine-tuning epochs (0 = 12)
+	LR     float64 // fine-tuning learning rate (0 = base lr / 100, per Sec. 5.4)
+	Seed   int64
+}
+
+// Retrain incrementally adapts the hybrid to newly-collected data from a
+// changed deployment (new platform, replica count, or application version —
+// Sec. 5.4): the CNN is fine-tuned with a 100×-smaller learning rate so the
+// solution stays near the original weights, and the Boosted Trees stage is
+// refit on the adapted latents. The receiver is not modified; a new model
+// is returned so the caller (or a prediction service) can swap atomically.
+func (m *HybridModel) Retrain(newData *dataset.Dataset, opts RetrainOptions) *HybridModel {
+	if opts.Epochs <= 0 {
+		opts.Epochs = 12
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.01 / 100
+	}
+	var buf bytes.Buffer
+	if err := nn.Save(&buf, m.Lat); err != nil {
+		panic(err)
+	}
+	tuned, err := nn.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	tuned.FineTune(newData.Inputs(), newData.Targets(), nn.TrainConfig{
+		Epochs: opts.Epochs, Batch: 128, LR: opts.LR,
+		QoSMS: m.QoSMS, Seed: opts.Seed,
+	})
+	out := RebuildHybrid(tuned, newData, m.QoSMS)
+	out.K = m.K
+	return out
+}
+
+// hybridBlob is the gob wire format for a hybrid model. The CNN and BT are
+// nested as opaque byte blobs so each keeps its own encoding.
+type hybridBlob struct {
+	Lat, Viol        []byte
+	K                int
+	QoSMS, RMSEValid float64
+	Pd, Pu           float64
+}
+
+// Save writes the hybrid model (CNN, BT, thresholds) to a file.
+func (m *HybridModel) Save(path string) error {
+	var latBuf, violBuf bytes.Buffer
+	if err := nn.Save(&latBuf, m.Lat); err != nil {
+		return err
+	}
+	if err := m.Viol.Save(&violBuf); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(hybridBlob{
+		Lat: latBuf.Bytes(), Viol: violBuf.Bytes(),
+		K: m.K, QoSMS: m.QoSMS, RMSEValid: m.RMSEValid, Pd: m.Pd, Pu: m.Pu,
+	})
+}
+
+// LoadHybrid reads a model saved with Save.
+func LoadHybrid(path string) (*HybridModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var blob hybridBlob
+	if err := gob.NewDecoder(f).Decode(&blob); err != nil {
+		return nil, err
+	}
+	tm, err := nn.Load(bytes.NewReader(blob.Lat))
+	if err != nil {
+		return nil, err
+	}
+	bt, err := boost.LoadModel(bytes.NewReader(blob.Viol))
+	if err != nil {
+		return nil, err
+	}
+	return &HybridModel{
+		Lat: tm, Viol: bt, D: tm.Model.Dims(),
+		K: blob.K, QoSMS: blob.QoSMS, RMSEValid: blob.RMSEValid,
+		Pd: blob.Pd, Pu: blob.Pu,
+	}, nil
+}

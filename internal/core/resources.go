@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"sinan/internal/cluster"
+	"sinan/internal/runner"
+)
+
+// AuxProvisioner implements the paper's "additional resources" extension
+// (Sec. 4.2): resources other than CPU act like thresholds — performance
+// collapses below them and is insensitive above — so they are managed with
+// much simpler models than the CPU path:
+//
+//   - memory: each tier is provisioned its maximum observed memory
+//     footprint (RSS + cache) times a safety headroom, eliminating
+//     out-of-memory errors (the paper provisions max profiled usage);
+//   - network bandwidth: provisioned proportionally to the current user
+//     load, times a headroom factor.
+//
+// The provisioner is a passive observer of the management loop; it exposes
+// the current per-tier provisions for enforcement by the deployment layer.
+type AuxProvisioner struct {
+	// MemHeadroom multiplies the maximum observed memory footprint
+	// (default 1.25).
+	MemHeadroom float64
+	// BytesPerPacket converts observed packet counts to bandwidth
+	// (default 1500, an MTU-sized packet).
+	BytesPerPacket float64
+	// NetHeadroom multiplies the load-proportional bandwidth estimate
+	// (default 1.5).
+	NetHeadroom float64
+
+	maxMem    []float64 // per-tier max observed RSS+cache, MB
+	pktPerReq []float64 // per-tier smoothed packets per request
+	lastRPS   float64
+}
+
+// NewAuxProvisioner creates a provisioner for n tiers.
+func NewAuxProvisioner(n int) *AuxProvisioner {
+	return &AuxProvisioner{
+		MemHeadroom:    1.25,
+		BytesPerPacket: 1500,
+		NetHeadroom:    1.5,
+		maxMem:         make([]float64, n),
+		pktPerReq:      make([]float64, n),
+	}
+}
+
+// Observe ingests one decision interval's stats and the interval's request
+// rate.
+func (a *AuxProvisioner) Observe(stats []cluster.Stats, rps float64) {
+	for i, s := range stats {
+		if mem := s.RSS + s.Cache; mem > a.maxMem[i] {
+			a.maxMem[i] = mem
+		}
+		if rps > 0 {
+			ppr := (s.NetRx + s.NetTx) / rps
+			if a.pktPerReq[i] == 0 {
+				a.pktPerReq[i] = ppr
+			} else {
+				a.pktPerReq[i] = 0.9*a.pktPerReq[i] + 0.1*ppr
+			}
+		}
+	}
+	a.lastRPS = rps
+}
+
+// MemoryMB returns the per-tier memory provisions (max profiled × headroom).
+func (a *AuxProvisioner) MemoryMB() []float64 {
+	out := make([]float64, len(a.maxMem))
+	for i, m := range a.maxMem {
+		out[i] = math.Ceil(m * a.MemHeadroom)
+	}
+	return out
+}
+
+// BandwidthMbps returns the per-tier network-bandwidth provisions for the
+// current load.
+func (a *AuxProvisioner) BandwidthMbps() []float64 {
+	out := make([]float64, len(a.pktPerReq))
+	for i, ppr := range a.pktPerReq {
+		bytesPerSec := ppr * a.lastRPS * a.BytesPerPacket * a.NetHeadroom
+		out[i] = bytesPerSec * 8 / 1e6
+	}
+	return out
+}
+
+// Wrap returns a policy that delegates CPU decisions to inner while feeding
+// this provisioner, so a single runner.Run drives both the CPU manager and
+// the threshold-based auxiliary provisioning.
+func (a *AuxProvisioner) Wrap(inner runner.Policy) runner.Policy {
+	return runner.PolicyFunc(inner.Name()+"+aux", func(st runner.State) runner.Decision {
+		a.Observe(st.Stats, st.RPS)
+		return inner.Decide(st)
+	})
+}

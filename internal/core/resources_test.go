@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sinan/internal/apps"
+	"sinan/internal/cluster"
+	"sinan/internal/runner"
+	"sinan/internal/workload"
+)
+
+func TestAuxMemoryTracksMaxFootprint(t *testing.T) {
+	a := NewAuxProvisioner(2)
+	a.Observe([]cluster.Stats{{RSS: 100, Cache: 50}, {RSS: 200, Cache: 0}}, 100)
+	a.Observe([]cluster.Stats{{RSS: 80, Cache: 40}, {RSS: 300, Cache: 20}}, 100)
+	mem := a.MemoryMB()
+	// Tier 0 peak 150, tier 1 peak 320; ×1.25 headroom, ceiled.
+	if mem[0] != math.Ceil(150*1.25) || mem[1] != math.Ceil(320*1.25) {
+		t.Fatalf("memory provisions = %v", mem)
+	}
+	// Provision never shrinks when usage recedes (OOM protection keeps the
+	// high-water mark).
+	a.Observe([]cluster.Stats{{RSS: 10}, {RSS: 10}}, 100)
+	mem2 := a.MemoryMB()
+	if mem2[0] != mem[0] || mem2[1] != mem[1] {
+		t.Fatal("memory provision shrank below the high-water mark")
+	}
+}
+
+func TestAuxBandwidthScalesWithLoad(t *testing.T) {
+	a := NewAuxProvisioner(1)
+	// 10 packets per request at 100 RPS.
+	a.Observe([]cluster.Stats{{NetRx: 500, NetTx: 500}}, 100)
+	low := a.BandwidthMbps()[0]
+	// Same per-request traffic at 300 RPS.
+	for i := 0; i < 50; i++ { // converge the smoothed packets/request
+		a.Observe([]cluster.Stats{{NetRx: 1500, NetTx: 1500}}, 300)
+	}
+	high := a.BandwidthMbps()[0]
+	if high <= low {
+		t.Fatalf("bandwidth should scale with load: %v → %v", low, high)
+	}
+	ratio := high / low
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("bandwidth ratio %v, want ~3 (load tripled)", ratio)
+	}
+}
+
+func TestAuxZeroLoadSafe(t *testing.T) {
+	a := NewAuxProvisioner(1)
+	a.Observe([]cluster.Stats{{NetRx: 0, NetTx: 0}}, 0)
+	if bw := a.BandwidthMbps()[0]; bw != 0 || math.IsNaN(bw) {
+		t.Fatalf("zero-load bandwidth = %v", bw)
+	}
+}
+
+func TestAuxWrapFeedsProvisionerDuringRun(t *testing.T) {
+	app := apps.NewHotelReservation()
+	a := NewAuxProvisioner(len(app.Tiers))
+	res := runner.Run(runner.Config{
+		App:      app,
+		Policy:   a.Wrap(&runner.Static{}),
+		Pattern:  workload.Constant(300),
+		Duration: 10,
+		Seed:     1,
+	})
+	if res.Completed == 0 {
+		t.Fatal("run produced no requests")
+	}
+	mem := a.MemoryMB()
+	bw := a.BandwidthMbps()
+	for i := range mem {
+		if mem[i] <= 0 {
+			t.Fatalf("tier %d memory provision %v", i, mem[i])
+		}
+	}
+	// The frontend (tier 0) sees every request: it must get bandwidth.
+	if bw[0] <= 0 {
+		t.Fatalf("frontend bandwidth = %v", bw[0])
+	}
+}

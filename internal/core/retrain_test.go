@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sinan/internal/dataset"
+	"sinan/internal/nn"
+)
+
+// synthDataset builds a learnable synthetic dataset: p99 rises as total
+// allocation falls, shifted by `shift` (to emulate a platform change).
+func synthDataset(seed int64, n int, shift float64) *dataset.Dataset {
+	d := nn.Dims{N: 4, T: 3, F: 6, M: 5}
+	ds := dataset.New(d, 3)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		rh := make([]float64, d.F*d.N*d.T)
+		lh := make([]float64, d.T*d.M)
+		rc := make([]float64, d.N)
+		total := 0.0
+		for t := 0; t < d.N; t++ {
+			rc[t] = 0.5 + 3*rng.Float64()
+			total += rc[t]
+		}
+		load := 0.5 + rng.Float64()
+		for j := range rh {
+			rh[j] = load + 0.05*rng.NormFloat64()
+		}
+		base := shift * (30 + 400*maxf(0, load*6-total)) * (1 + 0.05*rng.NormFloat64())
+		// Clip at 2.5×QoS like the live recorder does, so the φ-scaled loss
+		// and the RMSE metric see the same bounded range.
+		clip := func(v float64) float64 { return minf(v, 500) }
+		for j := range lh {
+			lh[j] = clip(base)
+		}
+		ylat := make([]float64, d.M)
+		for m := 0; m < d.M; m++ {
+			ylat[m] = clip(base * (0.9 + 0.025*float64(m)))
+		}
+		ds.Append(rh, lh, rc, ylat, base > 200)
+	}
+	return ds
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRetrainAdaptsToShiftedEnvironment(t *testing.T) {
+	base := synthDataset(1, 900, 1.0)
+	m, _ := TrainHybrid(base, 200, TrainOptions{Seed: 1, Epochs: 12, Latent: 8})
+
+	// New environment: latencies 1.5× higher at the same state.
+	shifted := synthDataset(2, 500, 1.5)
+	train, val := shifted.Split(0.8, 2)
+
+	before := m.Lat.RMSE(val.Inputs(), val.Targets())
+	m2 := m.Retrain(train, RetrainOptions{Epochs: 25, LR: 0.002, Seed: 2})
+	after := m2.Lat.RMSE(val.Inputs(), val.Targets())
+	if after >= before {
+		t.Fatalf("retrain did not adapt: RMSE %.1f → %.1f", before, after)
+	}
+	// The original model must be untouched (atomic-swap semantics).
+	if got := m.Lat.RMSE(val.Inputs(), val.Targets()); got != before {
+		t.Fatalf("Retrain mutated the original model: %.1f → %.1f", before, got)
+	}
+	// Thresholds are recalibrated and sane.
+	if !(m2.Pd > 0 && m2.Pd < m2.Pu && m2.Pu <= 0.9) {
+		t.Fatalf("retrained thresholds invalid: pd=%v pu=%v", m2.Pd, m2.Pu)
+	}
+	if m2.K != m.K || m2.QoSMS != m.QoSMS {
+		t.Fatal("retrain should preserve K and QoS")
+	}
+}
+
+func TestTrainHybridReportConsistency(t *testing.T) {
+	ds := synthDataset(3, 800, 1.0)
+	m, rep := TrainHybrid(ds, 200, TrainOptions{Seed: 3, Epochs: 10, Latent: 8})
+	if rep.TrainSamples+rep.ValSamps != ds.Len() {
+		t.Fatalf("split sizes %d+%d != %d", rep.TrainSamples, rep.ValSamps, ds.Len())
+	}
+	if rep.ValRMSESubQoS > rep.ValRMSE+1e-9 && rep.ValRMSE > 0 {
+		// Sub-QoS RMSE excludes the spiky tail, so it should not exceed the
+		// full RMSE by more than noise.
+		t.Fatalf("subQoS RMSE %.1f > full RMSE %.1f", rep.ValRMSESubQoS, rep.ValRMSE)
+	}
+	if m.RMSEValid != rep.ValRMSESubQoS {
+		t.Fatal("scheduler margin should be the sub-QoS validation RMSE")
+	}
+	if rep.CNNSizeKB <= 0 || rep.NumTrees <= 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	// The learned model must beat the mean predictor on its own data.
+	_, val := ds.Split(0.9, 3)
+	mean := 0.0
+	for _, v := range val.YLat {
+		mean += v
+	}
+	mean /= float64(len(val.YLat))
+	s := 0.0
+	for _, v := range val.YLat {
+		s += (v - mean) * (v - mean)
+	}
+	baseline := sqrt(s / float64(len(val.YLat)))
+	if rep.ValRMSE >= baseline {
+		t.Fatalf("hybrid CNN RMSE %.1f no better than mean predictor %.1f", rep.ValRMSE, baseline)
+	}
+}
+
+func TestViolationErrorBetterThanChance(t *testing.T) {
+	ds := synthDataset(4, 800, 1.0)
+	m, _ := TrainHybrid(ds, 200, TrainOptions{Seed: 4, Epochs: 8, Latent: 8})
+	_, val := ds.Split(0.9, 4)
+	errRate := m.ViolationError(val)
+	// Chance level is min(violRate, 1-violRate) for the trivial classifier.
+	vr := val.ViolationRate()
+	trivial := vr
+	if 1-vr < trivial {
+		trivial = 1 - vr
+	}
+	if errRate > trivial+0.05 {
+		t.Fatalf("BT error %.3f worse than trivial classifier %.3f", errRate, trivial)
+	}
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"sinan/internal/apps"
+	"sinan/internal/dataset"
+	"sinan/internal/metrics"
+	"sinan/internal/nn"
+	"sinan/internal/runner"
+	"sinan/internal/tensor"
+)
+
+// SchedulerOptions tunes the online scheduler.
+type SchedulerOptions struct {
+	// Pd / Pu override the model's calibrated violation-probability
+	// thresholds when non-zero (p_d < p_u; Sec. 4.3).
+	Pd, Pu float64
+	// UtilCap rejects downsizing that would push a tier's CPU utilization
+	// above this bound (the paper's overly-aggressive-downsizing guard).
+	UtilCap float64
+	// VictimWindow is the t of "Scale Up Victim": tiers scaled down within
+	// the last t decision intervals are candidates for re-inflation.
+	VictimWindow int
+	// TrustThreshold is the number of missed QoS violations after which the
+	// scheduler reduces trust in the model and stops reclaiming resources.
+	TrustThreshold int
+	// BatchKs are the k values tried for "Scale Down Batch" (k least
+	// utilized tiers); values above N−1 are clamped.
+	BatchKs []int
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.UtilCap == 0 {
+		// Long-service-time tiers hit the queueing cliff well below full
+		// utilization under bursty arrivals, so the cap keeps real headroom.
+		o.UtilCap = 0.6
+	}
+	if o.VictimWindow == 0 {
+		o.VictimWindow = 5
+	}
+	if o.TrustThreshold == 0 {
+		o.TrustThreshold = 25
+	}
+	if o.BatchKs == nil {
+		o.BatchKs = []int{2, 4, 8, 16}
+	}
+	return o
+}
+
+// candidate is one evaluated resource operation.
+type candidate struct {
+	alloc []float64
+	total float64
+	kind  candKind
+	tier  int // affected tier for single-tier ops, -1 otherwise
+}
+
+type candKind int
+
+const (
+	kindHold candKind = iota
+	kindDown
+	kindDownBatch
+	kindUp
+	kindUpAll
+	kindUpVictim
+)
+
+// Predictor is the model interface the scheduler consults: batched
+// candidate evaluation plus the metadata its filters need. *HybridModel is
+// the production implementation; tests substitute fakes.
+type Predictor interface {
+	PredictBatch(in nn.Inputs) (*tensor.Dense, []float64)
+	Meta() ModelMeta
+}
+
+// ModelMeta is the model metadata the scheduler's filters depend on.
+type ModelMeta struct {
+	D                nn.Dims
+	QoSMS, RMSEValid float64
+	Pd, Pu           float64
+}
+
+// Scheduler is Sinan's online resource manager (Sec. 4.3). It implements
+// runner.Policy.
+type Scheduler struct {
+	M    Predictor
+	meta ModelMeta
+	Opts SchedulerOptions
+
+	minCPU, maxCPU []float64
+
+	statHist, latHist *metrics.History[[]float64]
+	lastPredP99       float64
+	lastPredValid     bool
+	downAge           []int // intervals since tier was last scaled down
+	mistrust          int
+	cooldown          int // intervals to hold after an emergency upscale
+	Mispredictions    int
+}
+
+// NewScheduler builds the scheduler for an application.
+func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler {
+	opts = opts.withDefaults()
+	meta := m.Meta()
+	if opts.Pd == 0 {
+		opts.Pd = meta.Pd
+	}
+	if opts.Pu == 0 {
+		opts.Pu = meta.Pu
+	}
+	s := &Scheduler{
+		M:        m,
+		meta:     meta,
+		Opts:     opts,
+		statHist: metrics.NewHistory[[]float64](meta.D.T),
+		latHist:  metrics.NewHistory[[]float64](meta.D.T),
+		downAge:  make([]int, len(app.Tiers)),
+	}
+	for _, tc := range app.Tiers {
+		minC, maxC := tc.MinCPU, tc.MaxCPU
+		if minC <= 0 {
+			minC = 0.2
+		}
+		if maxC <= 0 {
+			maxC = 8
+		}
+		s.minCPU = append(s.minCPU, minC)
+		s.maxCPU = append(s.maxCPU, maxC)
+	}
+	for i := range s.downAge {
+		s.downAge[i] = 1 << 30
+	}
+	return s
+}
+
+// Name implements runner.Policy.
+func (s *Scheduler) Name() string { return "Sinan" }
+
+// Decide implements runner.Policy.
+func (s *Scheduler) Decide(st runner.State) runner.Decision {
+	d := s.meta.D
+
+	// Safety mechanism: a QoS violation the model did not predict triggers
+	// an immediate upscale of all tiers and erodes trust (Sec. 4.3).
+	violated := st.Perc.P99() > s.meta.QoSMS || st.Perc.Drops > 0
+	if violated && s.lastPredValid && s.lastPredP99 <= s.meta.QoSMS-s.meta.RMSEValid {
+		s.Mispredictions++
+		if s.Mispredictions > s.Opts.TrustThreshold {
+			s.mistrust++
+		}
+		s.pushHistory(st, d)
+		s.lastPredValid = false
+		s.cooldown = s.Opts.VictimWindow
+		// Immediately upscale all tiers (Sec. 4.3) so the built-up queues
+		// drain before they cascade. The upscale is a steep geometric ramp
+		// (doubling, continued through the cool-down while the violation
+		// persists) rather than a single jump to the absolute maximum: it
+		// reaches max within a few intervals for a real overload, without
+		// paying the full worst-case allocation for one noisy interval.
+		return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1}
+	}
+
+	s.pushHistory(st, d)
+	for i := range s.downAge {
+		s.downAge[i]++
+	}
+
+	if !s.statHist.Full() {
+		// Bootstrapping: hold until the history window fills.
+		s.lastPredValid = false
+		return runner.Decision{Alloc: st.Alloc}
+	}
+	if s.cooldown > 0 {
+		// Post-emergency cool-down: hold (or keep ramping, if latency is
+		// still past QoS) while built-up queues drain and the history window
+		// refills with clean state, so the model does not immediately
+		// reclaim into the spike.
+		s.cooldown--
+		s.lastPredValid = false
+		if violated {
+			return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1}
+		}
+		return runner.Decision{Alloc: st.Alloc}
+	}
+
+	cands := s.candidates(st)
+	pred, pviol := s.predictCandidates(cands, d)
+
+	chosen, ok := s.selectCandidate(st, cands, pred, pviol)
+	if !ok {
+		// No action is predicted safe: scale all tiers up steeply (to max
+		// within a few intervals if the danger persists).
+		s.lastPredValid = false
+		s.cooldown = s.Opts.VictimWindow
+		return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1}
+	}
+	c := cands[chosen]
+	if c.kind == kindDown || c.kind == kindDownBatch {
+		for i := range c.alloc {
+			if c.alloc[i] < st.Alloc[i] {
+				s.downAge[i] = 0
+			}
+		}
+	}
+	p99 := pred.At(chosen, d.M-1)
+	s.lastPredP99 = p99
+	s.lastPredValid = true
+	return runner.Decision{Alloc: c.alloc, PredP99MS: p99, PViol: pviol[chosen]}
+}
+
+func (s *Scheduler) pushHistory(st runner.State, d nn.Dims) {
+	s.statHist.Push(dataset.FlattenStats(st.Stats, d))
+	// Latency inputs are clipped exactly as the training recorder clips
+	// them, so deployment inputs stay on the training distribution.
+	clip := 2.5 * s.meta.QoSMS
+	lat := make([]float64, d.M)
+	for i, v := range st.Perc.Values {
+		if v > clip {
+			v = clip
+		}
+		lat[i] = v
+	}
+	s.latHist.Push(lat)
+}
+
+func (s *Scheduler) maxAlloc() []float64 {
+	return append([]float64(nil), s.maxCPU...)
+}
+
+// ultraSafe reports whether the current and all remembered intervals ran
+// below half the QoS target.
+func (s *Scheduler) ultraSafe(st runner.State) bool {
+	bound := 0.5 * s.meta.QoSMS
+	if st.Perc.P99() >= bound {
+		return false
+	}
+	d := s.meta.D
+	for i := 0; i < s.latHist.Len(); i++ {
+		if s.latHist.At(i)[d.M-1] >= bound {
+			return false
+		}
+	}
+	return true
+}
+
+// boosted returns the emergency-ramp allocation: every tier doubled (plus a
+// constant so tiers at the floor move), clamped to the per-tier maximum.
+func (s *Scheduler) boosted(cur []float64) []float64 {
+	out := make([]float64, len(cur))
+	for i := range out {
+		out[i] = cur[i]*2 + 0.5
+		if out[i] > s.maxCPU[i] {
+			out[i] = s.maxCPU[i]
+		}
+	}
+	return out
+}
+
+// candidates enumerates the pruned action set of Table 1.
+func (s *Scheduler) candidates(st runner.State) []candidate {
+	n := len(st.Alloc)
+	var out []candidate
+	add := func(alloc []float64, kind candKind, tier int) {
+		total := 0.0
+		for _, v := range alloc {
+			total += v
+		}
+		out = append(out, candidate{alloc: alloc, total: total, kind: kind, tier: tier})
+	}
+	clamp := func(i int, v float64) float64 {
+		v = math.Round(v*10) / 10
+		if v < s.minCPU[i] {
+			v = s.minCPU[i]
+		}
+		if v > s.maxCPU[i] {
+			v = s.maxCPU[i]
+		}
+		return v
+	}
+
+	// Hold.
+	add(append([]float64(nil), st.Alloc...), kindHold, -1)
+
+	downSteps := []float64{-0.2, -0.6, -1.0}
+	downRatios := []float64{0.9, 0.7}
+	upSteps := []float64{0.2, 0.6, 1.0}
+	upRatios := []float64{1.1, 1.3}
+
+	canShrink := func(i int, next float64) bool {
+		if next >= st.Alloc[i] {
+			return false
+		}
+		// Utilization guard against queue build-up.
+		return st.Stats[i].CPUUsage/next <= s.Opts.UtilCap
+	}
+
+	// Scale Down: single tiers.
+	for i := 0; i < n; i++ {
+		seen := map[float64]bool{}
+		try := func(next float64) {
+			next = clamp(i, next)
+			if seen[next] || !canShrink(i, next) {
+				return
+			}
+			seen[next] = true
+			alloc := append([]float64(nil), st.Alloc...)
+			alloc[i] = next
+			add(alloc, kindDown, i)
+		}
+		for _, d := range downSteps {
+			try(st.Alloc[i] + d)
+		}
+		for _, r := range downRatios {
+			try(st.Alloc[i] * r)
+		}
+	}
+
+	// Scale Down Batch: the k least-utilized tiers, each −0.2 cores.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua := st.Stats[order[a]].CPUUsage / math.Max(st.Alloc[order[a]], 1e-9)
+		ub := st.Stats[order[b]].CPUUsage / math.Max(st.Alloc[order[b]], 1e-9)
+		return ua < ub
+	})
+	for _, k := range append(append([]int(nil), s.Opts.BatchKs...), n-1) {
+		if k >= n {
+			k = n - 1
+		}
+		if k < 2 {
+			continue
+		}
+		// Two batch variants per k: a fine −0.2-core step and a −10%
+		// multiplicative step (the latter descends quickly from large
+		// overprovisioned allocations).
+		for _, ratio := range []float64{0, 0.9, 0.7} {
+			alloc := append([]float64(nil), st.Alloc...)
+			changed := false
+			for _, i := range order[:k] {
+				var next float64
+				if ratio > 0 {
+					next = clamp(i, alloc[i]*ratio)
+				} else {
+					next = clamp(i, alloc[i]-0.2)
+				}
+				if canShrink(i, next) {
+					alloc[i] = next
+					changed = true
+				}
+			}
+			if changed {
+				add(alloc, kindDownBatch, -1)
+			}
+		}
+	}
+
+	// Scale Up: single tiers.
+	for i := 0; i < n; i++ {
+		seen := map[float64]bool{}
+		try := func(next float64) {
+			next = clamp(i, next)
+			if seen[next] || next <= st.Alloc[i] {
+				return
+			}
+			seen[next] = true
+			alloc := append([]float64(nil), st.Alloc...)
+			alloc[i] = next
+			add(alloc, kindUp, i)
+		}
+		for _, d := range upSteps {
+			try(st.Alloc[i] + d)
+		}
+		for _, r := range upRatios {
+			try(st.Alloc[i] * r)
+		}
+	}
+
+	// Scale Up All.
+	{
+		alloc := make([]float64, n)
+		for i := range alloc {
+			alloc[i] = clamp(i, math.Max(st.Alloc[i]*1.3, st.Alloc[i]+0.2))
+		}
+		add(alloc, kindUpAll, -1)
+	}
+
+	// Scale Up Victim: re-inflate tiers scaled down in the last t cycles.
+	{
+		alloc := append([]float64(nil), st.Alloc...)
+		changed := false
+		for i := 0; i < n; i++ {
+			if s.downAge[i] <= s.Opts.VictimWindow {
+				next := clamp(i, math.Max(alloc[i]*1.3, alloc[i]+0.2))
+				if next > alloc[i] {
+					alloc[i] = next
+					changed = true
+				}
+			}
+		}
+		if changed {
+			add(alloc, kindUpVictim, -1)
+		}
+	}
+
+	return out
+}
+
+// predictCandidates evaluates all candidates in one batched model query.
+func (s *Scheduler) predictCandidates(cands []candidate, d nn.Dims) (*tensor.Dense, []float64) {
+	b := len(cands)
+	rhRow, lhRow := dataset.WindowInputs(d, s.statHist, s.latHist)
+	in := nn.Inputs{
+		RH: tensor.New(b, d.F, d.N, d.T),
+		LH: tensor.New(b, d.T, d.M),
+		RC: tensor.New(b, d.N),
+	}
+	for i := 0; i < b; i++ {
+		copy(in.RH.Data[i*len(rhRow):(i+1)*len(rhRow)], rhRow)
+		copy(in.LH.Data[i*len(lhRow):(i+1)*len(lhRow)], lhRow)
+		copy(in.RC.Data[i*d.N:(i+1)*d.N], cands[i].alloc)
+	}
+	return s.M.PredictBatch(in)
+}
+
+// selectCandidate applies the filters of Sec. 4.3 and returns the index of
+// the acceptable candidate using the least total CPU.
+func (s *Scheduler) selectCandidate(st runner.State, cands []candidate, pred *tensor.Dense, pviol []float64) (int, bool) {
+	d := s.meta.D
+	pd, pu := s.Opts.Pd, s.Opts.Pu
+	if s.mistrust > 0 {
+		// Reduced trust: be conservative about reclaiming.
+		pd = 0
+	}
+	if s.ultraSafe(st) {
+		// The classifier claims danger while every recent interval sat far
+		// below QoS — the observations win (the inverse of the trust
+		// mechanism: consistent over-prediction must not freeze the
+		// scheduler at maximum allocation). Latency and utilization filters
+		// still gate every action.
+		pd, pu = 1, 1
+	}
+	// While the tail is already past the target, disable reclamations so
+	// the system recovers as fast as possible.
+	hot := st.Perc.P99() > s.meta.QoSMS
+	// Predicted-latency acceptance bound (Sec. 4.3): QoS minus the
+	// validation error. Reclamations additionally keep a minimum headroom of
+	// 30% of QoS — the model's smooth response surface understates how sharp
+	// the queueing cliff is, so stepping down is only allowed while clearly
+	// inside the safe region; holding or scaling up near the boundary stays
+	// acceptable.
+	latBound := s.meta.QoSMS - s.meta.RMSEValid
+	downBound := latBound
+	if cap := 0.7 * s.meta.QoSMS; downBound > cap {
+		downBound = cap
+	}
+
+	best := -1
+	holdIdx := -1
+	for i, c := range cands {
+		if c.kind == kindHold {
+			holdIdx = i
+		}
+	}
+	holdRisky := holdIdx >= 0 && pviol[holdIdx] >= pu
+
+	for i, c := range cands {
+		p99 := pred.At(i, d.M-1)
+		switch c.kind {
+		case kindDown, kindDownBatch:
+			if hot || holdRisky || pviol[i] >= pd || p99 > downBound {
+				continue
+			}
+		case kindHold:
+			if pviol[i] >= pu || p99 > latBound {
+				continue
+			}
+		default:
+			// Scale-up variants are gated by the violation probability only:
+			// the latency prediction is dominated by the current state, and
+			// rejecting the very actions that add capacity would force the
+			// max-allocation fallback on every near-boundary drift.
+			if pviol[i] >= pu {
+				continue
+			}
+		}
+		if best < 0 || c.total < cands[best].total {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

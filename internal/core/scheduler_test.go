@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"sinan/internal/apps"
+	"sinan/internal/cluster"
+	"sinan/internal/metrics"
+	"sinan/internal/nn"
+	"sinan/internal/runner"
+	"sinan/internal/tensor"
+)
+
+// fakeModel predicts latency and violation probability as functions of the
+// candidate's total allocation: below needCores the system "will violate".
+type fakeModel struct {
+	d         nn.Dims
+	qos       float64
+	rmse      float64
+	needCores float64
+}
+
+func (f *fakeModel) Meta() ModelMeta {
+	return ModelMeta{D: f.d, QoSMS: f.qos, RMSEValid: f.rmse, Pd: 0.25, Pu: 0.5}
+}
+
+func (f *fakeModel) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
+	b := in.Batch()
+	pred := tensor.New(b, f.d.M)
+	pv := make([]float64, b)
+	for i := 0; i < b; i++ {
+		total := 0.0
+		for _, v := range in.RC.Data[i*f.d.N : (i+1)*f.d.N] {
+			total += v
+		}
+		lat := 20.0
+		if total < f.needCores {
+			lat = f.qos * 2
+		}
+		for m := 0; m < f.d.M; m++ {
+			pred.Set(lat, i, m)
+		}
+		if total < f.needCores {
+			pv[i] = 0.95
+		} else {
+			pv[i] = 0.01
+		}
+	}
+	return pred, pv
+}
+
+func testApp() *apps.App { return apps.NewHotelReservation() }
+
+func stateFor(app *apps.App, p99 float64, alloc []float64, usageFrac float64) runner.State {
+	stats := make([]cluster.Stats, len(alloc))
+	for i := range stats {
+		stats[i] = cluster.Stats{CPUUsage: alloc[i] * usageFrac, CPULimit: alloc[i], RSS: 100, Cache: 50}
+	}
+	var perc metrics.Percentiles
+	for i := range perc.Values {
+		perc.Values[i] = p99 * (0.9 + 0.025*float64(i))
+	}
+	perc.Values[metrics.NumPercentiles-1] = p99
+	perc.Count = 100
+	return runner.State{Stats: stats, Perc: perc, Alloc: alloc, RPS: 100, QoSMS: app.QoSMS}
+}
+
+func warmScheduler(app *apps.App, f *fakeModel, alloc []float64) *Scheduler {
+	s := NewScheduler(app, f, SchedulerOptions{})
+	for i := 0; i < f.d.T; i++ {
+		s.Decide(stateFor(app, 20, alloc, 0.3))
+	}
+	return s
+}
+
+func mkAlloc(app *apps.App, v float64) []float64 {
+	alloc := make([]float64, len(app.Tiers))
+	for i := range alloc {
+		alloc[i] = v
+	}
+	return alloc
+}
+
+func TestSchedulerBootstrapHolds(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 10}
+	s := NewScheduler(app, f, SchedulerOptions{})
+	alloc := mkAlloc(app, 4)
+	for i := 0; i < f.d.T-1; i++ {
+		dec := s.Decide(stateFor(app, 20, alloc, 0.3))
+		for j := range dec.Alloc {
+			if dec.Alloc[j] != alloc[j] {
+				t.Fatal("scheduler should hold while bootstrapping")
+			}
+		}
+	}
+}
+
+func TestSchedulerReclaimsWhenSafe(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 10}
+	alloc := mkAlloc(app, 4) // total = 68 cores, far above needCores
+	s := warmScheduler(app, f, alloc)
+	dec := s.Decide(stateFor(app, 20, alloc, 0.3))
+	if total(dec.Alloc) >= total(alloc) {
+		t.Fatalf("scheduler should reclaim: %v → %v", total(alloc), total(dec.Alloc))
+	}
+	if dec.PredP99MS <= 0 {
+		t.Fatal("decision should carry the model's latency prediction")
+	}
+}
+
+func TestSchedulerConvergesAboveNeed(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 20}
+	alloc := mkAlloc(app, 4)
+	s := warmScheduler(app, f, alloc)
+	for i := 0; i < 300; i++ {
+		dec := s.Decide(stateFor(app, 20, alloc, 0.3))
+		alloc = dec.Alloc
+	}
+	if total(alloc) < f.needCores {
+		t.Fatalf("scheduler dropped below the safe boundary: %v < %v", total(alloc), f.needCores)
+	}
+	// It should settle near the boundary, not stay grossly overprovisioned.
+	if total(alloc) > f.needCores*1.5 {
+		t.Fatalf("scheduler failed to reclaim toward the boundary: %v", total(alloc))
+	}
+}
+
+func TestSchedulerNoReclaimWhenHot(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 10}
+	alloc := mkAlloc(app, 4)
+	s := warmScheduler(app, f, alloc)
+	// p99 above QoS: downscales must be excluded even though the model says
+	// everything is fine.
+	dec := s.Decide(stateFor(app, 350, alloc, 0.3))
+	if total(dec.Alloc) < total(alloc) {
+		t.Fatal("reclaimed resources while tail latency was above QoS")
+	}
+}
+
+func TestSchedulerSafetyUpscaleOnMispredictedViolation(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 10}
+	alloc := mkAlloc(app, 2)
+	s := warmScheduler(app, f, alloc)
+	// Normal decision first: model predicts ~20ms.
+	dec := s.Decide(stateFor(app, 20, alloc, 0.3))
+	// Now an unpredicted violation arrives: every tier is boosted ×1.5+0.5
+	// immediately (clamped to max), and the ramp continues while the
+	// violation persists during the cool-down.
+	prev := dec.Alloc
+	dec = s.Decide(stateFor(app, 500, prev, 0.9))
+	for i, a := range dec.Alloc {
+		want := prev[i]*1.5 + 0.5
+		if want > s.maxCPU[i] {
+			want = s.maxCPU[i]
+		}
+		if a < want-1e-9 {
+			t.Fatalf("safety upscale missing: tier %d at %v, want ≥ %v", i, a, want)
+		}
+	}
+	if s.Mispredictions != 1 {
+		t.Fatalf("misprediction counter = %d", s.Mispredictions)
+	}
+	// Still violating inside the cool-down: the ramp keeps going up.
+	prev = dec.Alloc
+	dec = s.Decide(stateFor(app, 500, prev, 0.9))
+	for i := range dec.Alloc {
+		if dec.Alloc[i] < prev[i] {
+			t.Fatalf("cool-down ramp reversed at tier %d", i)
+		}
+	}
+}
+
+func TestSchedulerScalesUpWhenModelWarns(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 40}
+	alloc := mkAlloc(app, 2) // total 34 < 40 needed
+	s := warmScheduler(app, f, alloc)
+	dec := s.Decide(stateFor(app, 150, alloc, 0.7))
+	if total(dec.Alloc) <= total(alloc) {
+		t.Fatalf("scheduler should scale up toward the boundary: %v → %v",
+			total(alloc), total(dec.Alloc))
+	}
+}
+
+func TestSchedulerUtilCapBlocksDownscale(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 0}
+	alloc := mkAlloc(app, 1)
+	s := warmScheduler(app, f, alloc)
+	// Utilization at 84% of limit: a 0.2-core cut would exceed UtilCap 0.85.
+	dec := s.Decide(stateFor(app, 20, alloc, 0.84))
+	if total(dec.Alloc) < total(alloc) {
+		t.Fatal("downscale allowed past the utilization cap")
+	}
+}
+
+func TestSchedulerCandidateEnumeration(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 10}
+	alloc := mkAlloc(app, 4)
+	s := warmScheduler(app, f, alloc)
+	cands := s.candidates(stateFor(app, 20, alloc, 0.3))
+	var kinds [6]int
+	for _, c := range cands {
+		kinds[c.kind]++
+	}
+	if kinds[kindHold] != 1 {
+		t.Fatalf("hold candidates = %d", kinds[kindHold])
+	}
+	if kinds[kindDown] == 0 || kinds[kindUp] == 0 || kinds[kindUpAll] != 1 {
+		t.Fatalf("missing Table 1 categories: %v", kinds)
+	}
+	if kinds[kindDownBatch] == 0 {
+		t.Fatalf("no batch downscale candidates: %v", kinds)
+	}
+	// Allocation quantisation: all candidates on the 0.1-core grid within
+	// bounds.
+	for _, c := range cands {
+		for i, a := range c.alloc {
+			if a < s.minCPU[i]-1e-9 || a > s.maxCPU[i]+1e-9 {
+				t.Fatalf("candidate out of bounds: tier %d = %v", i, a)
+			}
+		}
+	}
+}
+
+func TestSchedulerVictimTracking(t *testing.T) {
+	app := testApp()
+	f := &fakeModel{d: nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}, qos: 200, rmse: 10, needCores: 10}
+	alloc := mkAlloc(app, 4)
+	s := warmScheduler(app, f, alloc)
+	dec := s.Decide(stateFor(app, 20, alloc, 0.3)) // reclaims something
+	downscaled := -1
+	for i := range dec.Alloc {
+		if dec.Alloc[i] < alloc[i] {
+			downscaled = i
+		}
+	}
+	if downscaled < 0 {
+		t.Fatal("expected a downscale")
+	}
+	// A victim candidate must now exist.
+	cands := s.candidates(stateFor(app, 20, dec.Alloc, 0.3))
+	found := false
+	for _, c := range cands {
+		if c.kind == kindUpVictim && c.alloc[downscaled] > dec.Alloc[downscaled] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no victim re-inflation candidate after downscale")
+	}
+}
+
+func total(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

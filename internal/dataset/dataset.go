@@ -1,0 +1,341 @@
+// Package dataset defines Sinan's training-sample schema and assembles
+// samples from live run traces. Each sample pairs the model inputs of
+// Sec. 3.1 — the per-tier resource-usage history image X_RH, the latency
+// -percentile history X_LH, and the candidate next-step allocation X_RC —
+// with two targets: the next interval's tail-latency percentiles (CNN
+// target) and whether a QoS violation occurs within the next K intervals
+// (Boosted Trees target).
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"sinan/internal/cluster"
+	"sinan/internal/metrics"
+	"sinan/internal/nn"
+	"sinan/internal/tensor"
+)
+
+// Dataset is a flat-packed collection of samples.
+type Dataset struct {
+	D nn.Dims
+	K int // violation lookahead in decision intervals
+
+	RH    []float64 // n × F·N·T
+	LH    []float64 // n × T·M
+	RC    []float64 // n × N
+	YLat  []float64 // n × M, next-interval percentiles (ms)
+	YViol []bool    // n, violation within next K intervals
+	Count int
+}
+
+// New creates an empty dataset for the given dimensions and lookahead.
+func New(d nn.Dims, k int) *Dataset { return &Dataset{D: d, K: k} }
+
+// Len returns the number of samples.
+func (ds *Dataset) Len() int { return ds.Count }
+
+func (ds *Dataset) rowSizes() (rh, lh, rc int) {
+	return ds.D.F * ds.D.N * ds.D.T, ds.D.T * ds.D.M, ds.D.N
+}
+
+// Append adds one sample; slices are copied.
+func (ds *Dataset) Append(rh, lh, rc, ylat []float64, yviol bool) {
+	rhN, lhN, rcN := ds.rowSizes()
+	if len(rh) != rhN || len(lh) != lhN || len(rc) != rcN || len(ylat) != ds.D.M {
+		panic(fmt.Sprintf("dataset: sample sizes %d/%d/%d/%d, want %d/%d/%d/%d",
+			len(rh), len(lh), len(rc), len(ylat), rhN, lhN, rcN, ds.D.M))
+	}
+	ds.RH = append(ds.RH, rh...)
+	ds.LH = append(ds.LH, lh...)
+	ds.RC = append(ds.RC, rc...)
+	ds.YLat = append(ds.YLat, ylat...)
+	ds.YViol = append(ds.YViol, yviol)
+	ds.Count++
+}
+
+// AppendFrom copies all samples of other (same dims) into ds.
+func (ds *Dataset) AppendFrom(other *Dataset) {
+	if other.D != ds.D {
+		panic("dataset: dims mismatch in AppendFrom")
+	}
+	ds.RH = append(ds.RH, other.RH...)
+	ds.LH = append(ds.LH, other.LH...)
+	ds.RC = append(ds.RC, other.RC...)
+	ds.YLat = append(ds.YLat, other.YLat...)
+	ds.YViol = append(ds.YViol, other.YViol...)
+	ds.Count += other.Count
+}
+
+// Inputs converts the dataset to model input tensors.
+func (ds *Dataset) Inputs() nn.Inputs {
+	return nn.Inputs{
+		RH: tensor.FromSlice(append([]float64(nil), ds.RH...), ds.Count, ds.D.F, ds.D.N, ds.D.T),
+		LH: tensor.FromSlice(append([]float64(nil), ds.LH...), ds.Count, ds.D.T, ds.D.M),
+		RC: tensor.FromSlice(append([]float64(nil), ds.RC...), ds.Count, ds.D.N),
+	}
+}
+
+// Targets returns the latency targets as a [n, M] tensor (ms).
+func (ds *Dataset) Targets() *tensor.Dense {
+	return tensor.FromSlice(append([]float64(nil), ds.YLat...), ds.Count, ds.D.M)
+}
+
+// P99s returns the per-sample next-interval p99 (the last percentile column).
+func (ds *Dataset) P99s() []float64 {
+	out := make([]float64, ds.Count)
+	for i := 0; i < ds.Count; i++ {
+		out[i] = ds.YLat[i*ds.D.M+ds.D.M-1]
+	}
+	return out
+}
+
+// ViolationRate returns the fraction of samples labelled as violations.
+func (ds *Dataset) ViolationRate() float64 {
+	if ds.Count == 0 {
+		return 0
+	}
+	v := 0
+	for _, b := range ds.YViol {
+		if b {
+			v++
+		}
+	}
+	return float64(v) / float64(ds.Count)
+}
+
+// Select returns a new dataset containing the given sample indices.
+func (ds *Dataset) Select(idx []int) *Dataset {
+	out := New(ds.D, ds.K)
+	rhN, lhN, rcN := ds.rowSizes()
+	for _, i := range idx {
+		out.Append(
+			ds.RH[i*rhN:(i+1)*rhN],
+			ds.LH[i*lhN:(i+1)*lhN],
+			ds.RC[i*rcN:(i+1)*rcN],
+			ds.YLat[i*ds.D.M:(i+1)*ds.D.M],
+			ds.YViol[i],
+		)
+	}
+	return out
+}
+
+// Split shuffles with the given seed and splits into train/validation with
+// the given train fraction (the paper uses 9:1).
+func (ds *Dataset) Split(trainFrac float64, seed int64) (train, val *Dataset) {
+	idx := rand.New(rand.NewSource(seed)).Perm(ds.Count)
+	cut := int(float64(ds.Count) * trainFrac)
+	return ds.Select(idx[:cut]), ds.Select(idx[cut:])
+}
+
+// FilterByP99 returns the subset of samples whose next-interval p99 is at
+// most maxMS — the dataset-truncation sweep of Fig. 9.
+func (ds *Dataset) FilterByP99(maxMS float64) *Dataset {
+	var idx []int
+	p99s := ds.P99s()
+	for i, v := range p99s {
+		if v <= maxMS {
+			idx = append(idx, i)
+		}
+	}
+	return ds.Select(idx)
+}
+
+// LatencyCDF returns (sorted p99 values, cumulative fractions) for plotting
+// the training-set latency distribution (Fig. 9, left).
+func (ds *Dataset) LatencyCDF() ([]float64, []float64) {
+	vals := ds.P99s()
+	sort.Float64s(vals)
+	fracs := make([]float64, len(vals))
+	for i := range vals {
+		fracs[i] = float64(i+1) / float64(len(vals))
+	}
+	return vals, fracs
+}
+
+// Save writes the dataset as gob.
+func (ds *Dataset) Save(w io.Writer) error { return gob.NewEncoder(w).Encode(ds) }
+
+// Load reads a dataset saved with Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var ds Dataset
+	if err := gob.NewDecoder(r).Decode(&ds); err != nil {
+		return nil, err
+	}
+	return &ds, nil
+}
+
+// SaveFile / LoadFile are file-path conveniences for the CLI tools.
+func (ds *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ds.Save(f)
+}
+
+// LoadFile reads a dataset from a file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Recorder assembles samples from a live (or simulated) run. Call Observe
+// once per decision interval with that interval's per-tier stats, its
+// end-to-end latency percentiles, and the allocation chosen for the NEXT
+// interval; completed samples are appended to Out as their future targets
+// materialise.
+type Recorder struct {
+	Out   *Dataset
+	QoSMS float64
+	// ClipMS caps recorded latency percentiles (inputs and targets). The
+	// exploration process keeps the system inside [0, QoS+α], so latencies
+	// far past the boundary are tail noise (timeouts, drops) that would
+	// otherwise dominate the squared error; the paper's datasets are
+	// likewise bounded (Fig. 9 spans ≈2×QoS). Violation labels are decided
+	// BEFORE clipping. 0 disables clipping.
+	ClipMS float64
+
+	statHist *metrics.History[[]float64] // flattened per-interval [F·N] features
+	latHist  *metrics.History[[]float64] // per-interval [M] percentiles
+	pending  []*pendingSample
+}
+
+type pendingSample struct {
+	rh, lh, rc []float64
+	ylat       []float64
+	viol       bool
+	remaining  int // future intervals still to observe
+	needLat    bool
+}
+
+// NewRecorder creates a recorder writing into out, clipping latencies at
+// 2.5× the QoS target.
+func NewRecorder(out *Dataset, qosMS float64) *Recorder {
+	return &Recorder{
+		Out:      out,
+		QoSMS:    qosMS,
+		ClipMS:   2.5 * qosMS,
+		statHist: metrics.NewHistory[[]float64](out.D.T),
+		latHist:  metrics.NewHistory[[]float64](out.D.T),
+	}
+}
+
+func (r *Recorder) clip(v float64) float64 {
+	if r.ClipMS > 0 && v > r.ClipMS {
+		return r.ClipMS
+	}
+	return v
+}
+
+// Observe ingests one decision interval. stats must have N entries; perc is
+// the interval's latency summary; nextAlloc is the per-tier CPU allocation
+// that will be in force during the NEXT interval.
+func (r *Recorder) Observe(stats []cluster.Stats, perc metrics.Percentiles, nextAlloc []float64) {
+	d := r.Out.D
+	if len(stats) != d.N || len(nextAlloc) != d.N {
+		panic("dataset: recorder tier-count mismatch")
+	}
+
+	violated := perc.P99() > r.QoSMS || perc.Drops > 0
+
+	// Resolve pending samples with this interval's outcome.
+	kept := r.pending[:0]
+	for _, p := range r.pending {
+		if p.needLat {
+			for i, v := range perc.Values {
+				p.ylat[i] = r.clip(v)
+			}
+			p.needLat = false
+		}
+		if violated {
+			p.viol = true
+		}
+		p.remaining--
+		if p.remaining <= 0 {
+			r.Out.Append(p.rh, p.lh, p.rc, p.ylat, p.viol)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	r.pending = kept
+
+	// Record this interval into the history windows.
+	r.statHist.Push(FlattenStats(stats, d))
+	lat := make([]float64, d.M)
+	for i, v := range perc.Values {
+		lat[i] = r.clip(v)
+	}
+	r.latHist.Push(lat)
+
+	if !r.statHist.Full() {
+		return
+	}
+
+	// Create a new pending sample keyed on the next interval's allocation.
+	rh, lh := WindowInputs(d, r.statHist, r.latHist)
+	rc := append([]float64(nil), nextAlloc...)
+	r.pending = append(r.pending, &pendingSample{
+		rh: rh, lh: lh, rc: rc,
+		ylat:      make([]float64, d.M),
+		remaining: r.Out.K,
+		needLat:   true,
+	})
+}
+
+// FlattenStats packs one interval's per-tier stats into the [F·N] feature
+// layout shared by the recorder and the online scheduler.
+func FlattenStats(stats []cluster.Stats, d nn.Dims) []float64 {
+	if d.F > cluster.NumStatFeatures {
+		panic("dataset: dims.F exceeds available stat features")
+	}
+	feat := make([]float64, d.F*d.N)
+	for n, s := range stats {
+		fs := s.Features()
+		for f := 0; f < d.F; f++ {
+			feat[f*d.N+n] = fs[f]
+		}
+	}
+	return feat
+}
+
+// WindowInputs assembles the model input rows (X_RH flattened as [F,N,T]
+// and X_LH as [T,M]) from full history rings of flattened interval features
+// and latency percentiles.
+func WindowInputs(d nn.Dims, statHist, latHist *metrics.History[[]float64]) (rh, lh []float64) {
+	rh = make([]float64, d.F*d.N*d.T)
+	for t := 0; t < d.T; t++ {
+		snap := statHist.At(t)
+		for f := 0; f < d.F; f++ {
+			for n := 0; n < d.N; n++ {
+				rh[(f*d.N+n)*d.T+t] = snap[f*d.N+n]
+			}
+		}
+	}
+	lh = make([]float64, d.T*d.M)
+	for t := 0; t < d.T; t++ {
+		copy(lh[t*d.M:(t+1)*d.M], latHist.At(t))
+	}
+	return rh, lh
+}
+
+// Pending returns the number of samples awaiting future observations.
+func (r *Recorder) Pending() int { return len(r.pending) }
+
+// Reset clears history and pending samples (e.g. across run boundaries, so
+// windows never straddle two runs).
+func (r *Recorder) Reset() {
+	r.statHist.Reset()
+	r.latHist.Reset()
+	r.pending = nil
+}

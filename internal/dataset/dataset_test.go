@@ -1,0 +1,270 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sinan/internal/cluster"
+	"sinan/internal/metrics"
+	"sinan/internal/nn"
+)
+
+var testDims = nn.Dims{N: 3, T: 4, F: 6, M: 5}
+
+func mkSample(i int) (rh, lh, rc, ylat []float64) {
+	d := testDims
+	rh = make([]float64, d.F*d.N*d.T)
+	lh = make([]float64, d.T*d.M)
+	rc = make([]float64, d.N)
+	ylat = make([]float64, d.M)
+	for j := range rh {
+		rh[j] = float64(i*1000 + j)
+	}
+	for j := range lh {
+		lh[j] = float64(i*100 + j)
+	}
+	for j := range rc {
+		rc[j] = float64(i + j)
+	}
+	for j := range ylat {
+		ylat[j] = float64(10*i + j)
+	}
+	return
+}
+
+func TestAppendAndInputs(t *testing.T) {
+	ds := New(testDims, 5)
+	for i := 0; i < 4; i++ {
+		rh, lh, rc, ylat := mkSample(i)
+		ds.Append(rh, lh, rc, ylat, i%2 == 0)
+	}
+	if ds.Len() != 4 {
+		t.Fatalf("len = %d", ds.Len())
+	}
+	in := ds.Inputs()
+	if in.Batch() != 4 || in.RH.Shape[1] != testDims.F {
+		t.Fatalf("inputs shapes wrong: %v", in.RH.Shape)
+	}
+	y := ds.Targets()
+	if y.At(2, 0) != 20 {
+		t.Fatalf("targets wrong: %v", y.At(2, 0))
+	}
+	if got := ds.ViolationRate(); got != 0.5 {
+		t.Fatalf("violation rate = %v", got)
+	}
+}
+
+func TestAppendSizeChecks(t *testing.T) {
+	ds := New(testDims, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size sample should panic")
+		}
+	}()
+	ds.Append([]float64{1}, nil, nil, nil, false)
+}
+
+func TestSelectAndSplit(t *testing.T) {
+	ds := New(testDims, 5)
+	for i := 0; i < 100; i++ {
+		rh, lh, rc, ylat := mkSample(i)
+		ds.Append(rh, lh, rc, ylat, false)
+	}
+	sub := ds.Select([]int{5, 10})
+	if sub.Len() != 2 || sub.YLat[0] != 50 {
+		t.Fatalf("select broken: %v", sub.YLat[:5])
+	}
+	train, val := ds.Split(0.9, 42)
+	if train.Len() != 90 || val.Len() != 10 {
+		t.Fatalf("split sizes %d/%d", train.Len(), val.Len())
+	}
+	// Deterministic for same seed.
+	train2, _ := ds.Split(0.9, 42)
+	if train.YLat[0] != train2.YLat[0] {
+		t.Fatal("split not deterministic")
+	}
+}
+
+func TestFilterByP99AndCDF(t *testing.T) {
+	ds := New(testDims, 5)
+	for i := 0; i < 10; i++ {
+		rh, lh, rc, ylat := mkSample(i)
+		ds.Append(rh, lh, rc, ylat, false)
+	}
+	// p99 of sample i is 10i + M-1 = 10i + 4.
+	f := ds.FilterByP99(50)
+	if f.Len() != 5 {
+		t.Fatalf("filter kept %d, want 5", f.Len())
+	}
+	vals, fracs := ds.LatencyCDF()
+	if len(vals) != 10 || fracs[9] != 1 {
+		t.Fatal("cdf malformed")
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("cdf values not sorted")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := New(testDims, 5)
+	rh, lh, rc, ylat := mkSample(3)
+	ds.Append(rh, lh, rc, ylat, true)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.D != testDims || !got.YViol[0] {
+		t.Fatal("round trip mismatch")
+	}
+	if got.RH[5] != ds.RH[5] {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestAppendFrom(t *testing.T) {
+	a := New(testDims, 5)
+	b := New(testDims, 5)
+	rh, lh, rc, ylat := mkSample(1)
+	a.Append(rh, lh, rc, ylat, false)
+	b.Append(rh, lh, rc, ylat, true)
+	a.AppendFrom(b)
+	if a.Len() != 2 || !a.YViol[1] {
+		t.Fatal("append-from broken")
+	}
+}
+
+func mkStats(n int, base float64) []cluster.Stats {
+	out := make([]cluster.Stats, n)
+	for i := range out {
+		out[i] = cluster.Stats{
+			CPUUsage: base + float64(i),
+			CPULimit: 2,
+			RSS:      100,
+			Cache:    50,
+			NetRx:    10,
+			NetTx:    10,
+		}
+	}
+	return out
+}
+
+func mkPerc(p99 float64) metrics.Percentiles {
+	var p metrics.Percentiles
+	for i := 0; i < metrics.NumPercentiles; i++ {
+		p.Values[i] = p99 * (0.9 + 0.025*float64(i))
+	}
+	p.Values[metrics.NumPercentiles-1] = p99
+	p.Count = 100
+	return p
+}
+
+func TestRecorderProducesSamples(t *testing.T) {
+	d := nn.Dims{N: 3, T: 4, F: 6, M: 5}
+	ds := New(d, 2)
+	r := NewRecorder(ds, 200)
+	alloc := []float64{1, 2, 3}
+	// T=4 warmup intervals + K=2 for resolution: first sample completes at
+	// interval T+K.
+	for i := 0; i < 10; i++ {
+		r.Observe(mkStats(3, float64(i)), mkPerc(float64(50+i)), alloc)
+	}
+	// Samples created at t=3..9 (after window full); resolved after 2 more.
+	if ds.Len() == 0 {
+		t.Fatal("no samples produced")
+	}
+	wantLen := 5 // t=3..7 resolved by t=9
+	if ds.Len() != wantLen {
+		t.Fatalf("samples = %d, want %d", ds.Len(), wantLen)
+	}
+	// Target latency of first sample = percentiles at interval 4 (p99=54).
+	if math.Abs(ds.YLat[d.M-1]-54) > 1e-9 {
+		t.Fatalf("first sample p99 target = %v, want 54", ds.YLat[d.M-1])
+	}
+	if ds.YViol[0] {
+		t.Fatal("no violation should be recorded below QoS")
+	}
+	// RC stored correctly.
+	if ds.RC[0] != 1 || ds.RC[2] != 3 {
+		t.Fatalf("rc = %v", ds.RC[:3])
+	}
+}
+
+func TestRecorderViolationLabel(t *testing.T) {
+	d := nn.Dims{N: 2, T: 2, F: 6, M: 5}
+	ds := New(d, 3)
+	r := NewRecorder(ds, 100)
+	alloc := []float64{1, 1}
+	// Warmup 2 intervals, then a violation at interval 4.
+	for i := 0; i < 8; i++ {
+		p99 := 50.0
+		if i == 4 {
+			p99 = 500 // violation
+		}
+		r.Observe(mkStats(2, 1), mkPerc(p99), alloc)
+	}
+	if ds.Len() < 3 {
+		t.Fatalf("too few samples: %d", ds.Len())
+	}
+	// Sample created at t=1 (window full at t=1) covers t=2..4 → violation.
+	// Check: at least one sample labelled violated and one not.
+	var anyViol, anyOK bool
+	for _, v := range ds.YViol {
+		if v {
+			anyViol = true
+		} else {
+			anyOK = true
+		}
+	}
+	if !anyViol || !anyOK {
+		t.Fatalf("labels not mixed: %v", ds.YViol)
+	}
+}
+
+func TestRecorderDropCountsAsViolation(t *testing.T) {
+	d := nn.Dims{N: 2, T: 2, F: 6, M: 5}
+	ds := New(d, 1)
+	r := NewRecorder(ds, 1000)
+	alloc := []float64{1, 1}
+	r.Observe(mkStats(2, 1), mkPerc(10), alloc)
+	r.Observe(mkStats(2, 1), mkPerc(10), alloc)
+	p := mkPerc(10)
+	p.Drops = 1
+	r.Observe(mkStats(2, 1), p, alloc) // resolves the first sample
+	if ds.Len() != 1 || !ds.YViol[0] {
+		t.Fatal("drop should label the sample as a violation")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	d := nn.Dims{N: 2, T: 3, F: 6, M: 5}
+	ds := New(d, 2)
+	r := NewRecorder(ds, 100)
+	alloc := []float64{1, 1}
+	for i := 0; i < 4; i++ {
+		r.Observe(mkStats(2, 1), mkPerc(10), alloc)
+	}
+	if r.Pending() == 0 {
+		t.Fatal("expected pending samples")
+	}
+	r.Reset()
+	if r.Pending() != 0 {
+		t.Fatal("reset should clear pending")
+	}
+	n := ds.Len()
+	// After reset, a full window is needed again before new samples.
+	r.Observe(mkStats(2, 1), mkPerc(10), alloc)
+	r.Observe(mkStats(2, 1), mkPerc(10), alloc)
+	if r.Pending() != 0 {
+		t.Fatal("window should not be full yet after reset")
+	}
+	if ds.Len() != n {
+		t.Fatal("no samples should complete right after reset")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sinan/internal/apps"
+	"sinan/internal/core"
+	"sinan/internal/runner"
+	"sinan/internal/workload"
+)
+
+// Fig12 reproduces the managed-timeline study (Fig. 12): Social Network
+// under Sinan at a constant 250 users (top row) and under a diurnal load
+// (bottom row). For each decision interval the trace records RPS, measured
+// vs. predicted tail latency, the violation probability, and the aggregate
+// and busiest per-tier allocations — showing the prediction tracking the
+// ground truth and resources following the load.
+func Fig12(l *Lab) []*Table {
+	app := apps.NewSocialNetwork()
+	m, _ := l.SocialModel()
+
+	mkTable := func(title string, pattern workload.Pattern, duration float64, seed int64) *Table {
+		sched := core.NewScheduler(app, m, core.SchedulerOptions{})
+		res := runner.Run(runner.Config{
+			App: app, Policy: sched, Pattern: pattern,
+			Duration: duration, Seed: seed, Warmup: 15, KeepTrace: true,
+		})
+		t := &Table{
+			Title: title,
+			Header: []string{"t(s)", "RPS", "p99 (ms)", "pred p99 (ms)", "P(viol)",
+				"total CPU", "top tiers (cores)"},
+		}
+		step := len(res.Trace) / 20
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(res.Trace); i += step {
+			row := res.Trace[i]
+			t.Rows = append(t.Rows, []string{
+				f0(row.Time), f0(row.RPS), f1(row.P99MS), f1(row.PredP99MS),
+				f2(row.PViol), f1(row.Total), topTiers(app, row.Alloc, 3),
+			})
+		}
+		meet := res.Meter.MeetProb()
+		var bias float64
+		n := 0
+		for _, row := range res.Trace {
+			if row.PredP99MS != 0 {
+				bias += row.PredP99MS - row.P99MS
+				n++
+			}
+		}
+		if n > 0 {
+			bias /= float64(n)
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("P(meet QoS)=%.3f, mean CPU=%.1f, max CPU=%.1f, mean prediction bias=%.1fms",
+				meet, res.Meter.MeanAlloc(), res.Meter.MaxAlloc(), bias))
+		return t
+	}
+
+	constant := mkTable(
+		"Fig. 12 (top) — Social Network, Sinan, constant 250 users",
+		workload.Constant(250), l.scale(240, 400), 71)
+	diurnal := mkTable(
+		"Fig. 12 (bottom) — Social Network, Sinan, diurnal load 60→300→60 users",
+		workload.Diurnal{Min: 60, Max: 300, Period: l.scale(600, 2000)},
+		l.scale(600, 2000), 72)
+	return []*Table{constant, diurnal}
+}
+
+// topTiers formats the k largest per-tier allocations.
+func topTiers(app *apps.App, alloc []float64, k int) string {
+	type ta struct {
+		name string
+		v    float64
+	}
+	all := make([]ta, len(alloc))
+	for i := range alloc {
+		all[i] = ta{app.Tiers[i].Name, alloc[i]}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+	out := ""
+	for i := 0; i < k && i < len(all); i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.1f", all[i].name, all[i].v)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"sinan/internal/apps"
+	"sinan/internal/nn"
+)
+
+// Fig13 reproduces the incremental-retraining study (Fig. 13): the Social
+// Network model trained on the local cluster is fine-tuned — with a 100×
+// smaller learning rate, preserving the learnt weights — for three
+// deployment changes: (a) a new server platform (GCE), (b) a different
+// scale-out factor (2× replicas for stateless tiers), and (c) an
+// application modification (AES encryption of posts). Validation RMSE is
+// reported as a function of the number of newly-collected samples; a small
+// number of samples recovers most of the accuracy, far cheaper than
+// retraining from scratch.
+func Fig13(l *Lab) []*Table {
+	baseModel, baseRep := l.SocialModel()
+
+	scenarios := []struct {
+		name string
+		app  *apps.App
+		seed int64
+	}{
+		{"GCE platform", apps.NewSocialNetwork(apps.WithPlatform(apps.GCE)), 81},
+		{"2x replicas", apps.NewSocialNetwork(apps.WithReplicaMult(2)), 82},
+		{"AES encryption", apps.NewSocialNetwork(apps.WithEncryption()), 83},
+	}
+	sampleCounts := []int{0, 500, 1000, 2000, 4000}
+	if l.Quick {
+		sampleCounts = []int{0, 400, 1200}
+	}
+
+	var tables []*Table
+	for _, sc := range scenarios {
+		// Collect a pool of new-environment samples once; fine-tuning sweeps
+		// prefixes of it. A fixed validation slice measures adaptation.
+		need := sampleCounts[len(sampleCounts)-1]
+		poolSecs := float64(need) * 1.35
+		if poolSecs < 600 {
+			poolSecs = 600
+		}
+		pool := l.CollectApp(sc.app, 50, 450, poolSecs, sc.seed)
+		newTrain, newVal := pool.Split(0.8, sc.seed)
+
+		t := &Table{
+			Title:  "Fig. 13 — fine-tuning for: " + sc.name,
+			Header: []string{"new samples", "train RMSE (ms)", "val RMSE (ms)"},
+			Notes: []string{
+				fmt.Sprintf("original model val RMSE on its own platform: %.1fms", baseRep.ValRMSE),
+				"fine-tuning uses lr = base lr / 100 (Sec. 5.4), preserving learnt weights",
+			},
+		}
+		for _, n := range sampleCounts {
+			// Fresh copy of the base model for each budget: clone via
+			// serialization round trip.
+			tm := cloneTrained(baseModel.Lat)
+			if n > 0 {
+				if n > newTrain.Len() {
+					n = newTrain.Len()
+				}
+				sub := newTrain.Select(firstN(n))
+				tm.FineTune(sub.Inputs(), sub.Targets(), nn.TrainConfig{
+					Epochs: l.scaleInt(8, 15), Batch: 128, LR: 0.0001,
+					QoSMS: 500, Seed: sc.seed,
+				})
+			}
+			trainRMSE := 0.0
+			if n > 0 {
+				sub := newTrain.Select(firstN(n))
+				trainRMSE = tm.RMSE(sub.Inputs(), sub.Targets())
+			}
+			valRMSE := tm.RMSE(newVal.Inputs(), newVal.Targets())
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n), f1(trainRMSE), f1(valRMSE),
+			})
+			l.logf("fig13 %s: n=%d valRMSE=%.1f", sc.name, n, valRMSE)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// cloneTrained deep-copies a trained model through its serialized form, so
+// each fine-tuning budget starts from identical base weights.
+func cloneTrained(tm *nn.TrainedModel) *nn.TrainedModel {
+	var buf bytes.Buffer
+	if err := nn.Save(&buf, tm); err != nil {
+		panic(err)
+	}
+	out, err := nn.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

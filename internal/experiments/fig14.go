@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sinan/internal/apps"
+	"sinan/internal/core"
+	"sinan/internal/metrics"
+	"sinan/internal/nn"
+	"sinan/internal/runner"
+	"sinan/internal/workload"
+)
+
+// Fig14 reproduces the GCE scalability study (Fig. 14 and Fig. 15): Social
+// Network deployed on the GCE platform profile, managed by Sinan with the
+// locally-trained model fine-tuned on a small amount of GCE data (the
+// transfer-learning path of Sec. 5.4/5.5), under the four request mixes
+// W0–W3. Fig. 14 reports the average CPU allocation per mix across loads;
+// Fig. 15 the p99 latency distribution per mix — all mixes must meet QoS,
+// with W1 (most ComposePost traffic) the most expensive.
+func Fig14(l *Lab) []*Table {
+	gceApp := apps.NewSocialNetwork(apps.WithPlatform(apps.GCE))
+	base, _ := l.SocialModel()
+
+	// Transfer learning: fine-tune the local model with GCE samples.
+	l.logf("fig14: collecting GCE fine-tuning data")
+	gceDS := l.CollectApp(gceApp, 50, 450, l.scale(800, 2000), 91)
+	tuned := cloneTrained(base.Lat)
+	tuned.FineTune(gceDS.Inputs(), gceDS.Targets(), nn.TrainConfig{
+		Epochs: l.scaleInt(8, 15), Batch: 128, LR: 0.0001, QoSMS: 500, Seed: 91,
+	})
+	// Rebuild the hybrid around the tuned CNN (BT retrained on GCE latents).
+	gceModel := core.RebuildHybrid(tuned, gceDS, 500)
+
+	loads := l.SocialLoads()
+	cpu := &Table{
+		Title:  "Fig. 14 — mean CPU allocation per request mix (Social Network on GCE, Sinan)",
+		Header: append([]string{"users"}, mixNames()...),
+		Notes: []string{
+			"mix ratios ComposePost:ReadHomeTimeline:ReadUserTimeline — W0=5:80:15 (training mix), W1=10:80:10, W2=1:90:9, W3=5:70:25",
+			"expected: W1 needs the most CPU (most ComposePost requests trigger the ML filter tiers)",
+		},
+	}
+	lat := &Table{
+		Title:  "Fig. 15 — p99 latency distribution per mix (Social Network on GCE, Sinan)",
+		Header: []string{"mix", "p50 of p99s", "p90", "p99", "max", "P(meet QoS)"},
+		Notes:  []string{"QoS 500ms: every mix must meet it (paper: Sinan always meets QoS on GCE)"},
+	}
+
+	perMixP99s := map[string][]float64{}
+	perMixMeet := map[string][]float64{}
+	rows := map[float64][]string{}
+	for _, load := range loads {
+		rows[load] = []string{f0(load)}
+	}
+	for _, mx := range apps.Mixes {
+		app := gceApp.WithMix(mx.Mix)
+		for _, load := range loads {
+			sched := core.NewScheduler(app, gceModel, core.SchedulerOptions{})
+			res := runner.Run(runner.Config{
+				App: app, Policy: sched, Pattern: workload.Constant(load),
+				Duration: l.scale(150, 240), Seed: int64(9000 + load), Warmup: 50, KeepTrace: true,
+			})
+			rows[load] = append(rows[load], f1(res.Meter.MeanAlloc()))
+			for _, r := range res.Trace {
+				if r.Time > 50 {
+					perMixP99s[mx.Name] = append(perMixP99s[mx.Name], r.P99MS)
+				}
+			}
+			perMixMeet[mx.Name] = append(perMixMeet[mx.Name], res.Meter.MeetProb())
+			l.logf("fig14 %s load=%.0f mean=%.1f meet=%.3f",
+				mx.Name, load, res.Meter.MeanAlloc(), res.Meter.MeetProb())
+		}
+	}
+	for _, load := range loads {
+		cpu.Rows = append(cpu.Rows, rows[load])
+	}
+	for _, mx := range apps.Mixes {
+		p99s := perMixP99s[mx.Name]
+		meet := metrics.Mean(perMixMeet[mx.Name])
+		lat.Rows = append(lat.Rows, []string{
+			mx.Name,
+			f1(metrics.Percentile(p99s, 50)),
+			f1(metrics.Percentile(p99s, 90)),
+			f1(metrics.Percentile(p99s, 99)),
+			f1(maxOf(p99s)),
+			f3(meet),
+		})
+	}
+	return []*Table{cpu, lat}
+}
+
+func mixNames() []string {
+	out := make([]string, len(apps.Mixes))
+	for i, m := range apps.Mixes {
+		out[i] = fmt.Sprintf("%s mean CPU", m.Name)
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

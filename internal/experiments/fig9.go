@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sinan/internal/core"
+	"sinan/internal/dataset"
+)
+
+// Fig9 reproduces the dataset study (Fig. 9): the latency CDF of the
+// bandit-collected Social Network training set, and how CNN/BT validation
+// error degrades when the training set is truncated at a maximum latency —
+// if the dataset contains no samples beyond the QoS target, both models
+// overfit badly and mispredict violations.
+func Fig9(l *Lab) []*Table {
+	ds := l.SocialDataset()
+	const qos = 500.0
+
+	// Left panel: CDF of next-interval p99 in the training dataset.
+	cdf := &Table{
+		Title:  "Fig. 9 (left) — training-set p99 latency CDF (Social Network)",
+		Header: []string{"latency (ms)", "CDF"},
+	}
+	vals, fracs := ds.LatencyCDF()
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+		idx := int(q*float64(len(vals))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		cdf.Rows = append(cdf.Rows, []string{f0(vals[idx]), f2(fracs[idx])})
+	}
+	cdf.Notes = append(cdf.Notes,
+		fmt.Sprintf("%d samples; %.1f%% violate QoS (%.0fms) — the bandit keeps the dataset near the boundary",
+			ds.Len(), 100*ds.ViolationRate(), qos))
+
+	// Right panel: train/val error vs. training-set latency cutoff. The
+	// validation set is fixed (drawn from the full distribution).
+	_, fullVal := ds.Split(0.9, 9)
+	sweep := &Table{
+		Title: "Fig. 9 (right) — error vs. training-set latency cutoff (Social Network)",
+		Header: []string{"cutoff (ms)", "train samples", "CNN train RMSE", "CNN val RMSE",
+			"BT val error"},
+		Notes: []string{
+			"validation always drawn from the full distribution",
+			"cutoffs at or below QoS (500ms) leave the models blind to violations",
+		},
+	}
+	cutoffs := []float64{400, 500, 700, 1000, 1250}
+	if l.Quick {
+		cutoffs = []float64{500, 700, 1250}
+	}
+	epochs := l.scaleInt(8, 12)
+	for _, cut := range cutoffs {
+		sub := ds.FilterByP99(cut)
+		if sub.Len() < 100 {
+			continue
+		}
+		m, rep := core.TrainHybrid(sub, qos, core.TrainOptions{Seed: 5, Epochs: epochs})
+		valRMSE := m.Lat.RMSE(fullVal.Inputs(), fullVal.Targets())
+		// BT error on the full validation set.
+		btErr := hybridBTError(m, fullVal)
+		sweep.Rows = append(sweep.Rows, []string{
+			f0(cut), fmt.Sprintf("%d", sub.Len()), f1(rep.TrainRMSE), f1(valRMSE), f3(btErr),
+		})
+		l.logf("fig9: cutoff %.0f done (val RMSE %.1f)", cut, valRMSE)
+	}
+	return []*Table{cdf, sweep}
+}
+
+// hybridBTError evaluates the hybrid's violation classifier on a dataset.
+func hybridBTError(m *core.HybridModel, ds *dataset.Dataset) float64 {
+	return m.ViolationError(ds)
+}

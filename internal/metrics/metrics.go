@@ -1,0 +1,235 @@
+// Package metrics aggregates end-to-end latencies and per-tier statistics
+// into the per-interval summaries Sinan consumes: tail-latency percentiles
+// (p95–p99) per decision interval, QoS bookkeeping over a run, and fixed
+// length history windows used as ML model input.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// NumPercentiles is the number of latency percentiles tracked (p95..p99),
+// matching the M dimension of the paper's latency-history input.
+const NumPercentiles = 5
+
+// Percentiles holds one decision interval's end-to-end latency summary in
+// milliseconds. Values[i] is the (95+i)-th percentile.
+type Percentiles struct {
+	Values [NumPercentiles]float64
+	Count  int     // completed requests in the interval
+	Mean   float64 // mean latency, ms
+	Drops  int     // requests dropped (counted as QoS violations)
+}
+
+// P99 returns the 99th-percentile latency in milliseconds.
+func (p Percentiles) P99() float64 { return p.Values[NumPercentiles-1] }
+
+// P95 returns the 95th-percentile latency in milliseconds.
+func (p Percentiles) P95() float64 { return p.Values[0] }
+
+// DropLatencyMS is the latency assigned to dropped requests so they land in
+// (and dominate) the tail rather than vanishing from the distribution.
+const DropLatencyMS = 10000
+
+// LatencyWindow accumulates request latencies for the current decision
+// interval. The zero value is ready to use.
+type LatencyWindow struct {
+	lats  []float64
+	drops int
+}
+
+// Record adds one completed request's latency (milliseconds).
+func (w *LatencyWindow) Record(ms float64) { w.lats = append(w.lats, ms) }
+
+// RecordDrop adds one dropped request.
+func (w *LatencyWindow) RecordDrop() {
+	w.lats = append(w.lats, DropLatencyMS)
+	w.drops++
+}
+
+// Pending returns how many requests have been recorded this interval.
+func (w *LatencyWindow) Pending() int { return len(w.lats) }
+
+// Flush computes the interval percentiles and resets the window. An empty
+// interval yields all-zero percentiles (an idle system meets QoS trivially).
+func (w *LatencyWindow) Flush() Percentiles {
+	var p Percentiles
+	p.Count = len(w.lats)
+	p.Drops = w.drops
+	if p.Count == 0 {
+		w.drops = 0
+		return p
+	}
+	sort.Float64s(w.lats)
+	sum := 0.0
+	for _, v := range w.lats {
+		sum += v
+	}
+	p.Mean = sum / float64(p.Count)
+	for i := 0; i < NumPercentiles; i++ {
+		p.Values[i] = percentileSorted(w.lats, float64(95+i))
+	}
+	w.lats = w.lats[:0]
+	w.drops = 0
+	return p
+}
+
+// percentileSorted returns the q-th percentile of sorted data using the
+// nearest-rank method.
+func percentileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Percentile computes the q-th percentile of unsorted data (copying; the
+// input is left unmodified).
+func Percentile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), data...)
+	sort.Float64s(cp)
+	return percentileSorted(cp, q)
+}
+
+// QoSMeter tracks QoS attainment and CPU cost over a managed run,
+// reproducing the three quantities of Fig. 11: probability of meeting QoS,
+// mean aggregate CPU allocation, and max aggregate CPU allocation.
+type QoSMeter struct {
+	QoSMS     float64
+	intervals int
+	met       int
+	sumAlloc  float64
+	maxAlloc  float64
+}
+
+// NewQoSMeter creates a meter for the given tail-latency target (ms).
+func NewQoSMeter(qosMS float64) *QoSMeter { return &QoSMeter{QoSMS: qosMS} }
+
+// Observe records one decision interval's p99 and aggregate allocation.
+func (m *QoSMeter) Observe(p Percentiles, totalAllocCores float64) {
+	m.intervals++
+	if p.P99() <= m.QoSMS && p.Drops == 0 {
+		m.met++
+	}
+	m.sumAlloc += totalAllocCores
+	if totalAllocCores > m.maxAlloc {
+		m.maxAlloc = totalAllocCores
+	}
+}
+
+// Intervals returns the number of observed intervals.
+func (m *QoSMeter) Intervals() int { return m.intervals }
+
+// MeetProb returns the fraction of intervals meeting QoS.
+func (m *QoSMeter) MeetProb() float64 {
+	if m.intervals == 0 {
+		return 1
+	}
+	return float64(m.met) / float64(m.intervals)
+}
+
+// MeanAlloc returns the time-averaged aggregate CPU allocation (cores).
+func (m *QoSMeter) MeanAlloc() float64 {
+	if m.intervals == 0 {
+		return 0
+	}
+	return m.sumAlloc / float64(m.intervals)
+}
+
+// MaxAlloc returns the maximum aggregate CPU allocation (cores).
+func (m *QoSMeter) MaxAlloc() float64 { return m.maxAlloc }
+
+// History is a fixed-capacity ring of per-interval snapshots, oldest first
+// when read. It backs the T-timestep windows of the model inputs.
+type History[T any] struct {
+	buf   []T
+	start int
+	n     int
+}
+
+// NewHistory creates a ring holding the last capacity items.
+func NewHistory[T any](capacity int) *History[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &History[T]{buf: make([]T, capacity)}
+}
+
+// Push appends an item, evicting the oldest once full.
+func (h *History[T]) Push(v T) {
+	if h.n < len(h.buf) {
+		h.buf[(h.start+h.n)%len(h.buf)] = v
+		h.n++
+		return
+	}
+	h.buf[h.start] = v
+	h.start = (h.start + 1) % len(h.buf)
+}
+
+// Len returns the number of stored items.
+func (h *History[T]) Len() int { return h.n }
+
+// Cap returns the ring capacity.
+func (h *History[T]) Cap() int { return len(h.buf) }
+
+// Full reports whether the ring holds capacity items.
+func (h *History[T]) Full() bool { return h.n == len(h.buf) }
+
+// At returns the i-th item, 0 = oldest.
+func (h *History[T]) At(i int) T {
+	if i < 0 || i >= h.n {
+		panic("metrics: history index out of range")
+	}
+	return h.buf[(h.start+i)%len(h.buf)]
+}
+
+// Last returns the most recent item.
+func (h *History[T]) Last() T { return h.At(h.n - 1) }
+
+// Slice returns the items oldest-first in a fresh slice.
+func (h *History[T]) Slice() []T {
+	out := make([]T, h.n)
+	for i := 0; i < h.n; i++ {
+		out[i] = h.At(i)
+	}
+	return out
+}
+
+// Reset discards all items.
+func (h *History[T]) Reset() { h.start, h.n = 0, 0 }
+
+// Mean returns the arithmetic mean of a slice (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RMSE returns the root-mean-squared error between two equal-length slices.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}

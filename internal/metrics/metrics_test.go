@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i + 1) // 1..100
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{95, 95}, {99, 99}, {50, 50}, {100, 100}, {1, 1},
+	} {
+		if got := Percentile(data, tc.q); got != tc.want {
+			t.Fatalf("P%v = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	if got := Percentile([]float64{42}, 99); got != 42 {
+		t.Fatalf("single element P99 = %v", got)
+	}
+	if got := Percentile(nil, 99); got != 0 {
+		t.Fatalf("empty P99 = %v, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Percentile(data, 99)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestLatencyWindowFlush(t *testing.T) {
+	var w LatencyWindow
+	for i := 1; i <= 100; i++ {
+		w.Record(float64(i))
+	}
+	p := w.Flush()
+	if p.Count != 100 || p.P95() != 95 || p.P99() != 99 {
+		t.Fatalf("flush: %+v", p)
+	}
+	if math.Abs(p.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", p.Mean)
+	}
+	p2 := w.Flush()
+	if p2.Count != 0 || p2.P99() != 0 {
+		t.Fatalf("window not reset: %+v", p2)
+	}
+}
+
+func TestLatencyWindowDrops(t *testing.T) {
+	var w LatencyWindow
+	w.Record(10)
+	w.RecordDrop()
+	p := w.Flush()
+	if p.Drops != 1 || p.Count != 2 {
+		t.Fatalf("drops: %+v", p)
+	}
+	if p.P99() != DropLatencyMS {
+		t.Fatalf("dropped request should dominate tail: p99 = %v", p.P99())
+	}
+}
+
+func TestQoSMeter(t *testing.T) {
+	m := NewQoSMeter(100)
+	obs := func(p99 float64, drops int, alloc float64) {
+		var p Percentiles
+		p.Values[NumPercentiles-1] = p99
+		p.Drops = drops
+		m.Observe(p, alloc)
+	}
+	obs(50, 0, 10)
+	obs(150, 0, 20)
+	obs(100, 0, 30) // boundary: meets
+	obs(50, 1, 40)  // drop: violates even under target
+	if got := m.MeetProb(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("meet prob = %v, want 0.5", got)
+	}
+	if m.MeanAlloc() != 25 || m.MaxAlloc() != 40 {
+		t.Fatalf("alloc stats: mean=%v max=%v", m.MeanAlloc(), m.MaxAlloc())
+	}
+	if m.Intervals() != 4 {
+		t.Fatalf("intervals = %d", m.Intervals())
+	}
+}
+
+func TestQoSMeterEmpty(t *testing.T) {
+	m := NewQoSMeter(100)
+	if m.MeetProb() != 1 || m.MeanAlloc() != 0 {
+		t.Fatal("empty meter defaults wrong")
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory[int](3)
+	if h.Full() {
+		t.Fatal("new ring should not be full")
+	}
+	h.Push(1)
+	h.Push(2)
+	h.Push(3)
+	if !h.Full() || h.Len() != 3 {
+		t.Fatal("ring should be full after 3 pushes")
+	}
+	h.Push(4) // evicts 1
+	want := []int{2, 3, 4}
+	got := h.Slice()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice = %v, want %v", got, want)
+		}
+	}
+	if h.Last() != 4 || h.At(0) != 2 {
+		t.Fatalf("Last/At wrong: last=%v at0=%v", h.Last(), h.At(0))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistoryIndexPanics(t *testing.T) {
+	h := NewHistory[int](2)
+	h.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At should panic")
+		}
+	}()
+	h.At(1)
+}
+
+func TestHistoryOrderProperty(t *testing.T) {
+	f := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%10) + 1
+		h := NewHistory[int](capacity)
+		for i := 0; i < int(n); i++ {
+			h.Push(i)
+		}
+		s := h.Slice()
+		// Slice is strictly increasing and ends at the last pushed value.
+		for i := 1; i < len(s); i++ {
+			if s[i] != s[i-1]+1 {
+				return false
+			}
+		}
+		if int(n) > 0 && s[len(s)-1] != int(n)-1 {
+			return false
+		}
+		return len(s) == min(capacity, int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("identical RMSE = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-9 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if !math.IsNaN(RMSE([]float64{1}, []float64{1, 2})) {
+		t.Fatal("mismatched lengths should yield NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+// Property: percentiles are monotone in q and bounded by data min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			v = math.Mod(math.Abs(v), 1000)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			data[i] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		prev := math.Inf(-1)
+		for q := 1.0; q <= 100; q += 7 {
+			p := Percentile(data, q)
+			if p < prev || p < lo || p > hi {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sinan/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·W + b, x of shape [B, In].
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       *tensor.Dense
+}
+
+// NewDense creates a dense layer with Xavier-initialised weights.
+func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: newParam(name+".W", in, out),
+		B: newParam(name+".b", out),
+	}
+	d.W.initUniform(rng, in, out)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: dense expects [B,%d], got %v", d.In, x.Shape))
+	}
+	d.x = x
+	y := tensor.MatMul(x, d.W.W)
+	b := x.Shape[0]
+	for i := 0; i < b; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j := 0; j < d.Out; j++ {
+			row[j] += d.B.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Dense) *tensor.Dense {
+	dW := tensor.MatMulTransA(d.x, dout)
+	tensor.AddInPlace(d.W.Grad, dW)
+	b := dout.Shape[0]
+	for i := 0; i < b; i++ {
+		row := dout.Data[i*d.Out : (i+1)*d.Out]
+		for j := 0; j < d.Out; j++ {
+			d.B.Grad.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(dout, d.W.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes [B, ...] to [B, prod(...)]. It is a pure view change.
+type Flatten struct {
+	inShape []int
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Dense) *tensor.Dense {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return x.Reshape(x.Shape[0], x.Size()/x.Shape[0])
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dout *tensor.Dense) *tensor.Dense {
+	return dout.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Conv2D is a 2-D convolution with stride 1 and symmetric zero padding.
+// Input [B, Cin, H, W], kernel K×K, output [B, Cout, H, W] (same padding
+// when Pad = K/2). The kernel window spans K adjacent tiers × K adjacent
+// timesteps, letting early layers learn local inter-tier dependencies and
+// deeper layers the whole graph (Sec. 3.1).
+type Conv2D struct {
+	Cin, Cout, K, Pad int
+	W, B              *Param
+	x                 *tensor.Dense
+}
+
+// NewConv2D creates a convolution layer with Xavier-initialised kernels.
+func NewConv2D(rng *rand.Rand, name string, cin, cout, k, pad int) *Conv2D {
+	c := &Conv2D{
+		Cin: cin, Cout: cout, K: k, Pad: pad,
+		W: newParam(name+".W", cout, cin, k, k),
+		B: newParam(name+".b", cout),
+	}
+	c.W.initUniform(rng, cin*k*k, cout*k*k)
+	return c
+}
+
+func (c *Conv2D) outDims(h, w int) (int, int) {
+	return h + 2*c.Pad - c.K + 1, w + 2*c.Pad - c.K + 1
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
+	if len(x.Shape) != 4 || x.Shape[1] != c.Cin {
+		panic(fmt.Sprintf("nn: conv expects [B,%d,H,W], got %v", c.Cin, x.Shape))
+	}
+	c.x = x
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(h, w)
+	y := tensor.New(b, c.Cout, oh, ow)
+	kd := c.W.W.Data
+	for n := 0; n < b; n++ {
+		for co := 0; co < c.Cout; co++ {
+			bias := c.B.W.Data[co]
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					s := bias
+					for ci := 0; ci < c.Cin; ci++ {
+						for ki := 0; ki < c.K; ki++ {
+							ii := i + ki - c.Pad
+							if ii < 0 || ii >= h {
+								continue
+							}
+							xoff := ((n*c.Cin+ci)*h + ii) * w
+							koff := ((co*c.Cin+ci)*c.K + ki) * c.K
+							for kj := 0; kj < c.K; kj++ {
+								jj := j + kj - c.Pad
+								if jj < 0 || jj >= w {
+									continue
+								}
+								s += x.Data[xoff+jj] * kd[koff+kj]
+							}
+						}
+					}
+					y.Data[((n*c.Cout+co)*oh+i)*ow+j] = s
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
+	x := c.x
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(h, w)
+	dx := tensor.New(b, c.Cin, h, w)
+	kd := c.W.W.Data
+	gw := c.W.Grad.Data
+	for n := 0; n < b; n++ {
+		for co := 0; co < c.Cout; co++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					g := dout.Data[((n*c.Cout+co)*oh+i)*ow+j]
+					if g == 0 {
+						continue
+					}
+					c.B.Grad.Data[co] += g
+					for ci := 0; ci < c.Cin; ci++ {
+						for ki := 0; ki < c.K; ki++ {
+							ii := i + ki - c.Pad
+							if ii < 0 || ii >= h {
+								continue
+							}
+							xoff := ((n*c.Cin+ci)*h + ii) * w
+							koff := ((co*c.Cin+ci)*c.K + ki) * c.K
+							dxoff := ((n*c.Cin+ci)*h + ii) * w
+							for kj := 0; kj < c.K; kj++ {
+								jj := j + kj - c.Pad
+								if jj < 0 || jj >= w {
+									continue
+								}
+								gw[koff+kj] += g * x.Data[xoff+jj]
+								dx.Data[dxoff+jj] += g * kd[koff+kj]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sinan/internal/tensor"
+)
+
+// Inputs is one batch of model input, mirroring Sec. 3.1:
+//
+//	RH — resource-usage history "image" [B, F, N, T]: F resource channels,
+//	     N tiers, T past timesteps;
+//	LH — end-to-end latency-percentile history [B, T, M];
+//	RC — candidate per-tier CPU allocation for the next step [B, N].
+type Inputs struct {
+	RH *tensor.Dense
+	LH *tensor.Dense
+	RC *tensor.Dense
+}
+
+// Batch returns the batch size.
+func (in Inputs) Batch() int { return in.RH.Shape[0] }
+
+// Slice gathers the given sample indices into a new batch.
+func (in Inputs) Slice(idx []int) Inputs {
+	gather := func(t *tensor.Dense) *tensor.Dense {
+		row := t.Size() / t.Shape[0]
+		shape := append([]int{len(idx)}, t.Shape[1:]...)
+		out := tensor.New(shape...)
+		for k, i := range idx {
+			copy(out.Data[k*row:(k+1)*row], t.Data[i*row:(i+1)*row])
+		}
+		return out
+	}
+	return Inputs{RH: gather(in.RH), LH: gather(in.LH), RC: gather(in.RC)}
+}
+
+// Dims describes the model input dimensions.
+type Dims struct {
+	N int // tiers
+	T int // past timesteps
+	F int // resource channels
+	M int // latency percentiles predicted
+}
+
+// Regressor is a latency predictor: Forward maps Inputs to predicted tail
+// latencies [B, M] (p95..p99 of the next decision interval).
+type Regressor interface {
+	Forward(in Inputs) *tensor.Dense
+	Backward(dpred *tensor.Dense)
+	Params() []*Param
+	Dims() Dims
+}
+
+// LatencyCNN is the paper's short-term latency predictor (Fig. 5): a CNN
+// over the resource-history image, fused with encoded latency history and
+// the candidate allocation into a compact latent vector Lf, from which the
+// next-interval tail latencies are predicted. Lf is also the feature vector
+// the Boosted Trees violation predictor consumes.
+type LatencyCNN struct {
+	dims   Dims
+	Latent int
+
+	rhConv *Sequential // conv stack + flatten + dense on RH
+	lhEnc  *Sequential // dense encoder on flattened LH
+	rcEnc  *Sequential // dense encoder on RC
+	trunk  *Sequential // concat → latent Lf
+	head   *Dense      // Lf → M latencies
+
+	lastLatent *tensor.Dense
+	dimsCache  [3]int
+}
+
+// NewLatencyCNN builds the CNN with the given input dimensions and latent
+// width. Channel counts follow the paper's methodology of growing the net
+// until validation accuracy levels off, while keeping the model small.
+func NewLatencyCNN(rng *rand.Rand, d Dims, latent int) *LatencyCNN {
+	if latent <= 0 {
+		latent = 32
+	}
+	const c1, c2, rhOut, lhOut, rcOut = 8, 8, 24, 16, 16
+	m := &LatencyCNN{dims: d, Latent: latent}
+	m.rhConv = &Sequential{Layers: []Layer{
+		NewConv2D(rng, "rh.conv1", d.F, c1, 3, 1), &ReLU{},
+		NewConv2D(rng, "rh.conv2", c1, c2, 3, 1), &ReLU{},
+		&Flatten{},
+		NewDense(rng, "rh.fc", c2*d.N*d.T, rhOut), &ReLU{},
+	}}
+	m.lhEnc = &Sequential{Layers: []Layer{
+		&Flatten{},
+		NewDense(rng, "lh.fc", d.T*d.M, lhOut), &ReLU{},
+	}}
+	m.rcEnc = &Sequential{Layers: []Layer{
+		NewDense(rng, "rc.fc", d.N, rcOut), &ReLU{},
+	}}
+	m.trunk = &Sequential{Layers: []Layer{
+		NewDense(rng, "trunk.fc", rhOut+lhOut+rcOut, latent), &ReLU{},
+	}}
+	m.head = NewDense(rng, "head.fc", latent, d.M)
+	m.dimsCache = [3]int{rhOut, lhOut, rcOut}
+	return m
+}
+
+// Dims implements Regressor.
+func (m *LatencyCNN) Dims() Dims { return m.dims }
+
+// Forward implements Regressor and caches the latent vector Lf.
+func (m *LatencyCNN) Forward(in Inputs) *tensor.Dense {
+	rh := m.rhConv.Forward(in.RH)
+	lh := m.lhEnc.Forward(in.LH)
+	rc := m.rcEnc.Forward(in.RC)
+	cat := tensor.Concat(rh, lh, rc)
+	m.lastLatent = m.trunk.Forward(cat)
+	return m.head.Forward(m.lastLatent)
+}
+
+// LastLatent returns the latent Lf [B, Latent] from the previous Forward.
+func (m *LatencyCNN) LastLatent() *tensor.Dense { return m.lastLatent }
+
+// Backward implements Regressor.
+func (m *LatencyCNN) Backward(dpred *tensor.Dense) {
+	m.BackwardWithLatentGrad(dpred, nil)
+}
+
+// BackwardWithLatentGrad backpropagates the prediction gradient plus an
+// optional extra gradient flowing directly into the latent Lf.
+func (m *LatencyCNN) BackwardWithLatentGrad(dpred, dlatent *tensor.Dense) {
+	dl := m.head.Backward(dpred)
+	if dlatent != nil {
+		tensor.AddInPlace(dl, dlatent)
+	}
+	dcat := m.trunk.Backward(dl)
+	parts := tensor.SplitGrad(dcat, m.dimsCache[0], m.dimsCache[1], m.dimsCache[2])
+	m.rhConv.Backward(parts[0])
+	m.lhEnc.Backward(parts[1])
+	m.rcEnc.Backward(parts[2])
+}
+
+// Params implements Regressor.
+func (m *LatencyCNN) Params() []*Param {
+	ps := m.rhConv.Params()
+	ps = append(ps, m.lhEnc.Params()...)
+	ps = append(ps, m.rcEnc.Params()...)
+	ps = append(ps, m.trunk.Params()...)
+	ps = append(ps, m.head.Params()...)
+	return ps
+}
+
+// MLP is the multilayer-perceptron baseline of Table 2: all inputs are
+// flattened into one vector [F·N·T + T·M + N] and passed through
+// fully-connected layers.
+type MLP struct {
+	dims Dims
+	net  *Sequential
+	in   int
+}
+
+// NewMLP builds the baseline MLP.
+func NewMLP(rng *rand.Rand, d Dims) *MLP {
+	in := d.F*d.N*d.T + d.T*d.M + d.N
+	return &MLP{
+		dims: d,
+		in:   in,
+		net: &Sequential{Layers: []Layer{
+			NewDense(rng, "mlp.fc1", in, 512), &ReLU{},
+			NewDense(rng, "mlp.fc2", 512, 256), &ReLU{},
+			NewDense(rng, "mlp.fc3", 256, d.M),
+		}},
+	}
+}
+
+// Dims implements Regressor.
+func (m *MLP) Dims() Dims { return m.dims }
+
+func (m *MLP) flatten(in Inputs) *tensor.Dense {
+	b := in.Batch()
+	out := tensor.New(b, m.in)
+	rhRow := in.RH.Size() / b
+	lhRow := in.LH.Size() / b
+	rcRow := in.RC.Size() / b
+	for i := 0; i < b; i++ {
+		off := i * m.in
+		copy(out.Data[off:], in.RH.Data[i*rhRow:(i+1)*rhRow])
+		copy(out.Data[off+rhRow:], in.LH.Data[i*lhRow:(i+1)*lhRow])
+		copy(out.Data[off+rhRow+lhRow:], in.RC.Data[i*rcRow:(i+1)*rcRow])
+	}
+	return out
+}
+
+// Forward implements Regressor.
+func (m *MLP) Forward(in Inputs) *tensor.Dense { return m.net.Forward(m.flatten(in)) }
+
+// Backward implements Regressor.
+func (m *MLP) Backward(dpred *tensor.Dense) { m.net.Backward(dpred) }
+
+// Params implements Regressor.
+func (m *MLP) Params() []*Param { return m.net.Params() }
+
+// LSTMModel is the recurrent baseline of Table 2: the resource history is
+// presented as a T-step sequence of [F·N + M] vectors (per-step resource
+// snapshot plus latency percentiles); the final hidden state is fused with
+// the encoded candidate allocation.
+type LSTMModel struct {
+	dims   Dims
+	lstm   *LSTM
+	rcEnc  *Sequential
+	head   *Sequential
+	hidden int
+}
+
+// NewLSTMModel builds the baseline LSTM regressor.
+func NewLSTMModel(rng *rand.Rand, d Dims) *LSTMModel {
+	const hidden, rcOut = 96, 16
+	return &LSTMModel{
+		dims:   d,
+		hidden: hidden,
+		lstm:   NewLSTM(rng, "lstm", d.F*d.N+d.M, hidden),
+		rcEnc: &Sequential{Layers: []Layer{
+			NewDense(rng, "lstm.rc", d.N, rcOut), &ReLU{},
+		}},
+		head: &Sequential{Layers: []Layer{
+			NewDense(rng, "lstm.head1", hidden+rcOut, 64), &ReLU{},
+			NewDense(rng, "lstm.head2", 64, d.M),
+		}},
+	}
+}
+
+// Dims implements Regressor.
+func (m *LSTMModel) Dims() Dims { return m.dims }
+
+// sequence rearranges RH [B,F,N,T] + LH [B,T,M] into [B,T,F·N+M].
+func (m *LSTMModel) sequence(in Inputs) *tensor.Dense {
+	d := m.dims
+	b := in.Batch()
+	dim := d.F*d.N + d.M
+	seq := tensor.New(b, d.T, dim)
+	for n := 0; n < b; n++ {
+		for t := 0; t < d.T; t++ {
+			off := (n*d.T + t) * dim
+			for f := 0; f < d.F; f++ {
+				for tier := 0; tier < d.N; tier++ {
+					seq.Data[off+f*d.N+tier] = in.RH.Data[((n*d.F+f)*d.N+tier)*d.T+t]
+				}
+			}
+			copy(seq.Data[off+d.F*d.N:], in.LH.Data[(n*d.T+t)*d.M:(n*d.T+t+1)*d.M])
+		}
+	}
+	return seq
+}
+
+// Forward implements Regressor.
+func (m *LSTMModel) Forward(in Inputs) *tensor.Dense {
+	h := m.lstm.Forward(m.sequence(in))
+	rc := m.rcEnc.Forward(in.RC)
+	return m.head.Forward(tensor.Concat(h, rc))
+}
+
+// Backward implements Regressor. Gradients into the raw sequence inputs are
+// discarded (inputs are data, not parameters).
+func (m *LSTMModel) Backward(dpred *tensor.Dense) {
+	dcat := m.head.Backward(dpred)
+	parts := tensor.SplitGrad(dcat, m.hidden, 16)
+	m.lstm.Backward(parts[0])
+	m.rcEnc.Backward(parts[1])
+}
+
+// Params implements Regressor.
+func (m *LSTMModel) Params() []*Param {
+	ps := []*Param{}
+	ps = append(ps, m.lstm.Params()...)
+	ps = append(ps, m.rcEnc.Params()...)
+	ps = append(ps, m.head.Params()...)
+	return ps
+}
+
+// MultiTaskNN is the rejected joint design of Fig. 4: one network predicting
+// both the next-interval latencies and QoS-violation logits for the next K
+// intervals. The semantic gap between the bounded violation probability and
+// the unbounded latency makes it overpredict latency — the motivation for
+// the two-stage CNN + Boosted Trees design.
+type MultiTaskNN struct {
+	CNN *LatencyCNN
+	// violation head on the shared latent
+	vHead *Dense
+	K     int
+}
+
+// NewMultiTaskNN builds the joint multi-task baseline.
+func NewMultiTaskNN(rng *rand.Rand, d Dims, latent, k int) *MultiTaskNN {
+	cnn := NewLatencyCNN(rng, d, latent)
+	return &MultiTaskNN{
+		CNN:   cnn,
+		vHead: NewDense(rng, "vhead.fc", cnn.Latent, k),
+		K:     k,
+	}
+}
+
+// Forward returns predicted latencies [B, M] and violation logits [B, K].
+func (m *MultiTaskNN) Forward(in Inputs) (*tensor.Dense, *tensor.Dense) {
+	lat := m.CNN.Forward(in)
+	logits := m.vHead.Forward(m.CNN.LastLatent())
+	return lat, logits
+}
+
+// Backward propagates both heads' gradients through the shared trunk.
+func (m *MultiTaskNN) Backward(dlat, dlogits *tensor.Dense) {
+	dlatent := m.vHead.Backward(dlogits)
+	m.CNN.BackwardWithLatentGrad(dlat, dlatent)
+}
+
+// Params returns all learnable parameters.
+func (m *MultiTaskNN) Params() []*Param {
+	return append(m.CNN.Params(), m.vHead.Params()...)
+}
+
+// checkInputs validates input shapes against dims.
+func checkInputs(in Inputs, d Dims) error {
+	b := in.RH.Shape[0]
+	if len(in.RH.Shape) != 4 || in.RH.Shape[1] != d.F || in.RH.Shape[2] != d.N || in.RH.Shape[3] != d.T {
+		return fmt.Errorf("nn: RH shape %v, want [B,%d,%d,%d]", in.RH.Shape, d.F, d.N, d.T)
+	}
+	if len(in.LH.Shape) != 3 || in.LH.Shape[0] != b || in.LH.Shape[1] != d.T || in.LH.Shape[2] != d.M {
+		return fmt.Errorf("nn: LH shape %v, want [%d,%d,%d]", in.LH.Shape, b, d.T, d.M)
+	}
+	if len(in.RC.Shape) != 2 || in.RC.Shape[0] != b || in.RC.Shape[1] != d.N {
+		return fmt.Errorf("nn: RC shape %v, want [%d,%d]", in.RC.Shape, b, d.N)
+	}
+	return nil
+}

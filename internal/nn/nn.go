@@ -1,0 +1,137 @@
+// Package nn implements the neural-network substrate Sinan's latency
+// predictor is built on (the paper used MXNet): dense, convolutional, and
+// LSTM layers with backpropagation, SGD with momentum and weight decay, the
+// paper's φ-scaled squared loss (Eq. 1–2), and gob model serialization.
+// Everything is plain Go and deterministic given a seeded initialiser.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"sinan/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient and momentum buffers.
+type Param struct {
+	Name string
+	W    *tensor.Dense
+	Grad *tensor.Dense
+	Vel  *tensor.Dense
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{
+		Name: name,
+		W:    tensor.New(shape...),
+		Grad: tensor.New(shape...),
+		Vel:  tensor.New(shape...),
+	}
+}
+
+// initUniform fills W with Xavier/Glorot uniform samples for the given fan.
+func (p *Param) initUniform(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.W.Data {
+		p.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Layer is a differentiable module. Forward caches whatever Backward needs;
+// layers are therefore not safe for concurrent use, matching the
+// single-threaded training loop.
+type Layer interface {
+	Forward(x *tensor.Dense) *tensor.Dense
+	Backward(dout *tensor.Dense) *tensor.Dense
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Dense) *tensor.Dense {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse.
+func (s *Sequential) Backward(dout *tensor.Dense) *tensor.Dense {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params collects all learnable parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total learnable scalar count of a parameter set.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// ModelSizeKB reports the serialized model size in KB assuming float32
+// storage, the convention the paper's model-size column uses.
+func ModelSizeKB(ps []*Param) float64 {
+	return float64(NumParams(ps)) * 4 / 1024
+}
+
+// SGD is stochastic gradient descent with momentum and L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+}
+
+// Step applies one update and zeroes gradients.
+func (o *SGD) Step(ps []*Param) {
+	for _, p := range ps {
+		for i, g := range p.Grad.Data {
+			g += o.WeightDecay * p.W.Data[i]
+			v := o.Momentum*p.Vel.Data[i] - o.LR*g
+			p.Vel.Data[i] = v
+			p.W.Data[i] += v
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// ZeroGrads clears all gradients.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}
+
+// ClipGrads rescales gradients so their global L2 norm is at most c.
+func ClipGrads(ps []*Param, c float64) {
+	total := 0.0
+	for _, p := range ps {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= c || norm == 0 {
+		return
+	}
+	scale := c / norm
+	for _, p := range ps {
+		tensor.ScaleInPlace(p.Grad, scale)
+	}
+}

@@ -1,0 +1,363 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sinan/internal/tensor"
+)
+
+// numGradCheck verifies dL/dx and dL/dparams for an arbitrary module using
+// central finite differences with L = Σ out² / 2 (so dL/dout = out).
+func numGradCheck(t *testing.T, layer Layer, x *tensor.Dense, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		out := layer.Forward(x.Clone())
+		s := 0.0
+		for _, v := range out.Data {
+			s += v * v / 2
+		}
+		return s
+	}
+	// Analytic gradients.
+	ZeroGrads(layer.Params())
+	out := layer.Forward(x.Clone())
+	dx := layer.Backward(out.Clone())
+
+	const eps = 1e-5
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dx.Data[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input grad mismatch at %d: analytic %v vs numeric %v", i, dx.Data[i], num)
+		}
+	}
+	for _, p := range layer.Params() {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := loss()
+			p.W.Data[i] = orig - eps
+			lm := loss()
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.Grad.Data[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s grad mismatch at %d: analytic %v vs numeric %v",
+					p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestDenseForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(rng, "fc", 2, 1)
+	d.W.W.Data[0], d.W.W.Data[1] = 2, 3
+	d.B.W.Data[0] = 1
+	y := d.Forward(tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	if y.At(0, 0) != 1*2+2*3+1 || y.At(1, 0) != 3*2+4*3+1 {
+		t.Fatalf("dense forward = %v", y.Data)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(rng, "fc", 3, 2)
+	x := tensor.New(4, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	numGradCheck(t, d, x, 1e-5)
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	y := r.Forward(tensor.FromSlice([]float64{-1, 2, 0, -3}, 1, 4))
+	want := []float64{0, 2, 0, 0}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("relu = %v", y.Data)
+		}
+	}
+	dx := r.Backward(tensor.FromSlice([]float64{5, 5, 5, 5}, 1, 4))
+	wantdx := []float64{0, 5, 5, 0} // zero passes gradient (x >= 0 convention)
+	for i, v := range wantdx {
+		if dx.Data[i] != v {
+			t.Fatalf("relu grad = %v", dx.Data)
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := &Flatten{}
+	x := tensor.New(2, 3, 4)
+	y := f.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 12 {
+		t.Fatalf("flatten shape %v", y.Shape)
+	}
+	dx := f.Backward(tensor.New(2, 12))
+	if len(dx.Shape) != 3 || dx.Shape[2] != 4 {
+		t.Fatalf("unflatten shape %v", dx.Shape)
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D(rng, "conv", 1, 1, 3, 1)
+	c.W.W.Zero()
+	c.W.W.Set(1, 0, 0, 1, 1) // delta kernel: output = input
+	c.B.W.Zero()
+	x := tensor.New(1, 1, 4, 5)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	y := c.Forward(x)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv mismatch at %d", i)
+		}
+	}
+}
+
+func TestConv2DShiftKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2D(rng, "conv", 1, 1, 3, 1)
+	c.W.W.Zero()
+	c.W.W.Set(1, 0, 0, 0, 1) // reads the row above: y[i,j] = x[i-1,j]
+	c.B.W.Zero()
+	x := tensor.New(1, 1, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	y := c.Forward(x)
+	if y.At(0, 0, 0, 0) != 0 { // padding row
+		t.Fatalf("padded edge should be 0, got %v", y.At(0, 0, 0, 0))
+	}
+	if y.At(0, 0, 1, 1) != x.At(0, 0, 0, 1) {
+		t.Fatal("shift kernel wrong")
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D(rng, "conv", 2, 3, 3, 1)
+	x := tensor.New(2, 2, 4, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	numGradCheck(t, c, x, 1e-4)
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewLSTM(rng, "lstm", 3, 4)
+	x := tensor.New(2, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64() * 0.5
+	}
+	numGradCheck(t, l, x, 1e-4)
+}
+
+func TestSequentialComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seq := &Sequential{Layers: []Layer{
+		NewDense(rng, "a", 3, 5), &ReLU{}, NewDense(rng, "b", 5, 2),
+	}}
+	x := tensor.New(2, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	numGradCheck(t, seq, x, 1e-5)
+	if len(seq.Params()) != 4 {
+		t.Fatalf("params = %d, want 4", len(seq.Params()))
+	}
+}
+
+func TestScaleFunction(t *testing.T) {
+	const knee, alpha = 100.0, 0.01
+	if Scale(50, knee, alpha) != 50 {
+		t.Fatal("below knee φ should be identity")
+	}
+	if math.Abs(Scale(100, knee, alpha)-100) > 1e-12 {
+		t.Fatal("φ should be continuous at the knee")
+	}
+	// Monotone increasing, bounded by knee + 1/alpha.
+	prev := 0.0
+	for x := 0.0; x < 10000; x += 50 {
+		v := Scale(x, knee, alpha)
+		if v < prev {
+			t.Fatalf("φ not monotone at %v", x)
+		}
+		if v > knee+1/alpha {
+			t.Fatalf("φ(%v) = %v exceeds asymptote %v", x, v, knee+1/alpha)
+		}
+		prev = v
+	}
+	// Derivative matches numerically on both sides of the knee.
+	for _, x := range []float64{30, 99.9, 100.1, 250, 1000} {
+		const eps = 1e-6
+		num := (Scale(x+eps, knee, alpha) - Scale(x-eps, knee, alpha)) / (2 * eps)
+		if math.Abs(num-ScaleDeriv(x, knee, alpha)) > 1e-5 {
+			t.Fatalf("φ' mismatch at %v", x)
+		}
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	pred := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	truth := tensor.FromSlice([]float64{0, 4}, 1, 2)
+	loss, grad := MSE{}.Compute(pred, truth)
+	if math.Abs(loss-(1+4)/2.0) > 1e-12 {
+		t.Fatalf("mse = %v", loss)
+	}
+	if math.Abs(grad.Data[0]-1) > 1e-12 || math.Abs(grad.Data[1]-(-2)) > 1e-12 {
+		t.Fatalf("mse grad = %v", grad.Data)
+	}
+}
+
+func TestScaledMSEGradNumeric(t *testing.T) {
+	l := ScaledMSE{Knee: 100, Alpha: 0.01}
+	truth := tensor.FromSlice([]float64{80, 300}, 1, 2)
+	pred := tensor.FromSlice([]float64{120, 90}, 1, 2)
+	_, grad := l.Compute(pred, truth)
+	const eps = 1e-5
+	for i := range pred.Data {
+		orig := pred.Data[i]
+		pred.Data[i] = orig + eps
+		lp, _ := l.Compute(pred, truth)
+		pred.Data[i] = orig - eps
+		lm, _ := l.Compute(pred, truth)
+		pred.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grad.Data[i]) > 1e-6 {
+			t.Fatalf("scaled mse grad mismatch at %d: %v vs %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestScaledMSEDampensSpikes(t *testing.T) {
+	l := ScaledMSE{Knee: 100, Alpha: 0.01}
+	pred := tensor.FromSlice([]float64{100}, 1, 1)
+	spiky := tensor.FromSlice([]float64{5000}, 1, 1)
+	mild := tensor.FromSlice([]float64{200}, 1, 1)
+	lossSpiky, _ := l.Compute(pred, spiky)
+	lossMild, _ := l.Compute(pred, mild)
+	plainSpiky, _ := MSE{}.Compute(pred, spiky)
+	if lossSpiky >= plainSpiky {
+		t.Fatal("φ-scaling should dampen spike loss versus plain MSE")
+	}
+	if lossSpiky > 100*lossMild {
+		t.Fatal("spike loss should be bounded")
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	pred := tensor.FromSlice([]float64{0}, 1, 1)
+	truth := tensor.FromSlice([]float64{1}, 1, 1)
+	loss, grad := BCEWithLogits{}.Compute(pred, truth)
+	if math.Abs(loss-math.Log(2)) > 1e-9 {
+		t.Fatalf("bce(0,1) = %v, want ln2", loss)
+	}
+	if math.Abs(grad.Data[0]-(-0.5)) > 1e-9 {
+		t.Fatalf("bce grad = %v, want -0.5", grad.Data[0])
+	}
+	// Large positive logit with label 1: near-zero loss.
+	pred.Data[0] = 20
+	loss, _ = BCEWithLogits{}.Compute(pred, truth)
+	if loss > 1e-6 {
+		t.Fatalf("confident correct prediction loss = %v", loss)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := newParam("w", 1)
+	p.W.Data[0] = 1
+	p.Grad.Data[0] = 0.5
+	opt := &SGD{LR: 0.1}
+	opt.Step([]*Param{p})
+	if math.Abs(p.W.Data[0]-0.95) > 1e-12 {
+		t.Fatalf("sgd step: %v", p.W.Data[0])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("grad should be zeroed after step")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := newParam("w", 1)
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	for i := 0; i < 3; i++ {
+		p.Grad.Data[0] = 1
+		opt.Step([]*Param{p})
+	}
+	// v1=-0.1, v2=-0.19, v3=-0.271 → w = -0.561
+	if math.Abs(p.W.Data[0]-(-0.561)) > 1e-9 {
+		t.Fatalf("momentum trajectory wrong: %v", p.W.Data[0])
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := newParam("w", 1)
+	p.W.Data[0] = 10
+	opt := &SGD{LR: 0.1, WeightDecay: 0.1}
+	opt.Step([]*Param{p})
+	if p.W.Data[0] >= 10 {
+		t.Fatal("weight decay should shrink weights with zero data gradient")
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := newParam("w", 2)
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4 // norm 5
+	ClipGrads([]*Param{p}, 1)
+	norm := math.Hypot(p.Grad.Data[0], p.Grad.Data[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("clipped norm = %v", norm)
+	}
+	ClipGrads([]*Param{p}, 10) // under limit: no-op
+	if math.Abs(math.Hypot(p.Grad.Data[0], p.Grad.Data[1])-1) > 1e-12 {
+		t.Fatal("clip below limit should not rescale")
+	}
+}
+
+func TestModelSizeKB(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDense(rng, "fc", 256, 256)
+	kb := ModelSizeKB(d.Params())
+	want := float64(256*256+256) * 4 / 1024
+	if math.Abs(kb-want) > 1e-9 {
+		t.Fatalf("size = %v, want %v", kb, want)
+	}
+}
+
+// A tiny end-to-end training sanity check: an MLP fits y = x1 + 2*x2.
+func TestMLPLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := &Sequential{Layers: []Layer{
+		NewDense(rng, "a", 2, 16), &ReLU{}, NewDense(rng, "b", 16, 1),
+	}}
+	opt := &SGD{LR: 0.01, Momentum: 0.9}
+	x := tensor.New(64, 2)
+	y := tensor.New(64, 1)
+	for epoch := 0; epoch < 300; epoch++ {
+		for i := 0; i < 64; i++ {
+			a, b := rng.Float64(), rng.Float64()
+			x.Data[2*i], x.Data[2*i+1] = a, b
+			y.Data[i] = a + 2*b
+		}
+		pred := net.Forward(x)
+		_, grad := MSE{}.Compute(pred, y)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	pred := net.Forward(tensor.FromSlice([]float64{0.3, 0.4}, 1, 2))
+	if math.Abs(pred.Data[0]-1.1) > 0.05 {
+		t.Fatalf("MLP failed to fit linear target: got %v, want 1.1", pred.Data[0])
+	}
+}

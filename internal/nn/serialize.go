@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// modelBlob is the gob wire format for a trained model.
+type modelBlob struct {
+	Kind   string
+	D      Dims
+	Latent int
+	K      int // multi-task violation horizon (unused otherwise)
+	Params map[string][]float64
+	Norm   Normalizer
+}
+
+func kindOf(m Regressor) (string, int, error) {
+	switch v := m.(type) {
+	case *LatencyCNN:
+		return "cnn", v.Latent, nil
+	case *MLP:
+		return "mlp", 0, nil
+	case *LSTMModel:
+		return "lstm", 0, nil
+	default:
+		return "", 0, fmt.Errorf("nn: cannot serialize model type %T", m)
+	}
+}
+
+// Save writes a trained model (weights + normaliser) as gob.
+func Save(w io.Writer, tm *TrainedModel) error {
+	kind, latent, err := kindOf(tm.Model)
+	if err != nil {
+		return err
+	}
+	blob := modelBlob{
+		Kind:   kind,
+		D:      tm.Model.Dims(),
+		Latent: latent,
+		Params: map[string][]float64{},
+		Norm:   *tm.Norm,
+	}
+	for _, p := range tm.Model.Params() {
+		if _, dup := blob.Params[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		blob.Params[p.Name] = p.W.Data
+	}
+	return gob.NewEncoder(w).Encode(blob)
+}
+
+// Load reconstructs a trained model saved with Save.
+func Load(r io.Reader) (*TrainedModel, error) {
+	var blob modelBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(0))
+	var model Regressor
+	switch blob.Kind {
+	case "cnn":
+		model = NewLatencyCNN(rng, blob.D, blob.Latent)
+	case "mlp":
+		model = NewMLP(rng, blob.D)
+	case "lstm":
+		model = NewLSTMModel(rng, blob.D)
+	default:
+		return nil, fmt.Errorf("nn: unknown model kind %q", blob.Kind)
+	}
+	for _, p := range model.Params() {
+		data, ok := blob.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("nn: missing parameter %q", p.Name)
+		}
+		if len(data) != len(p.W.Data) {
+			return nil, fmt.Errorf("nn: parameter %q size %d, want %d", p.Name, len(data), len(p.W.Data))
+		}
+		copy(p.W.Data, data)
+	}
+	norm := blob.Norm
+	return &TrainedModel{Model: model, Norm: &norm}, nil
+}

@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"sinan/internal/tensor"
+)
+
+// Normalizer standardises model inputs: per-channel z-scores for the
+// resource-history image, global z-scores for latency history and candidate
+// allocations. Fitted on the training set and reused at inference, so
+// deployment data is interpreted on the training scale.
+type Normalizer struct {
+	RHMean, RHStd []float64 // per resource channel, length F
+	LHMean, LHStd float64
+	RCMean, RCStd float64
+}
+
+// FitNormalizer computes normalisation statistics from a training set.
+func FitNormalizer(in Inputs, d Dims) *Normalizer {
+	n := &Normalizer{RHMean: make([]float64, d.F), RHStd: make([]float64, d.F)}
+	b := in.Batch()
+	per := d.N * d.T
+	for f := 0; f < d.F; f++ {
+		sum, sumsq, cnt := 0.0, 0.0, 0
+		for i := 0; i < b; i++ {
+			base := (i*d.F + f) * per
+			for j := 0; j < per; j++ {
+				v := in.RH.Data[base+j]
+				sum += v
+				sumsq += v * v
+				cnt++
+			}
+		}
+		mean := sum / float64(cnt)
+		std := math.Sqrt(math.Max(sumsq/float64(cnt)-mean*mean, 0))
+		n.RHMean[f], n.RHStd[f] = mean, floorStd(std)
+	}
+	n.LHMean, n.LHStd = meanStd(in.LH.Data)
+	n.RCMean, n.RCStd = meanStd(in.RC.Data)
+	return n
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	sum, sumsq := 0.0, 0.0
+	for _, v := range xs {
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(len(xs))
+	std := math.Sqrt(math.Max(sumsq/float64(len(xs))-mean*mean, 0))
+	return mean, floorStd(std)
+}
+
+func floorStd(s float64) float64 {
+	if s < 1e-6 {
+		return 1
+	}
+	return s
+}
+
+// Apply returns normalised copies of the inputs.
+func (n *Normalizer) Apply(in Inputs, d Dims) Inputs {
+	out := Inputs{RH: in.RH.Clone(), LH: in.LH.Clone(), RC: in.RC.Clone()}
+	b := in.Batch()
+	per := d.N * d.T
+	for i := 0; i < b; i++ {
+		for f := 0; f < d.F; f++ {
+			base := (i*d.F + f) * per
+			for j := 0; j < per; j++ {
+				out.RH.Data[base+j] = (out.RH.Data[base+j] - n.RHMean[f]) / n.RHStd[f]
+			}
+		}
+	}
+	for i := range out.LH.Data {
+		out.LH.Data[i] = (out.LH.Data[i] - n.LHMean) / n.LHStd
+	}
+	for i := range out.RC.Data {
+		out.RC.Data[i] = (out.RC.Data[i] - n.RCMean) / n.RCStd
+	}
+	return out
+}
+
+// TrainConfig controls Train and FineTune.
+type TrainConfig struct {
+	Epochs      int
+	Batch       int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	ClipNorm    float64
+	QoSMS       float64 // φ knee (Eq. 2) in milliseconds; 0 disables scaling
+	Alpha       float64 // φ decay, e.g. 0.01
+	Seed        int64
+	Log         io.Writer // optional epoch-loss log
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	return c
+}
+
+// yScale converts milliseconds to model output units; predicting latencies
+// in ~unit scale keeps gradients well-conditioned with Xavier init.
+const yScale = 0.01
+
+// TrainedModel couples a regressor with its input normaliser and target
+// scaling, exposing millisecond-space prediction.
+type TrainedModel struct {
+	Model Regressor
+	Norm  *Normalizer
+}
+
+// Train fits a regressor on inputs (raw feature space) and targets in
+// milliseconds [B, M], returning the wrapped model. Training is plain SGD
+// with momentum, gradient clipping, and the φ-scaled squared loss.
+func Train(model Regressor, in Inputs, yMS *tensor.Dense, cfg TrainConfig) *TrainedModel {
+	cfg = cfg.withDefaults()
+	d := model.Dims()
+	if err := checkInputs(in, d); err != nil {
+		panic(err)
+	}
+	tm := &TrainedModel{Model: model, Norm: FitNormalizer(in, d)}
+	tm.fit(in, yMS, cfg)
+	return tm
+}
+
+// FineTune continues training an existing model on new data with the given
+// config (typically a much smaller learning rate, per Sec. 5.4: λ/100 to
+// keep the solution near the original weights). The original normaliser is
+// retained so features stay on the original scale.
+func (tm *TrainedModel) FineTune(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
+	cfg = cfg.withDefaults()
+	tm.fit(in, yMS, cfg)
+}
+
+func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
+	d := tm.Model.Dims()
+	norm := tm.Norm.Apply(in, d)
+	y := yMS.Clone()
+	tensor.ScaleInPlace(y, yScale)
+
+	var loss Loss = MSE{}
+	if cfg.QoSMS > 0 {
+		loss = ScaledMSE{Knee: cfg.QoSMS * yScale, Alpha: cfg.Alpha / yScale}
+	}
+	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, WeightDecay: cfg.WeightDecay}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	n := in.Batch()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	yRow := y.Shape[1]
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		total := 0.0
+		batches := 0
+		for s := 0; s < n; s += cfg.Batch {
+			e := s + cfg.Batch
+			if e > n {
+				e = n
+			}
+			bidx := idx[s:e]
+			bin := norm.Slice(bidx)
+			by := tensor.New(len(bidx), yRow)
+			for k, i := range bidx {
+				copy(by.Data[k*yRow:(k+1)*yRow], y.Data[i*yRow:(i+1)*yRow])
+			}
+			pred := tm.Model.Forward(bin)
+			l, grad := loss.Compute(pred, by)
+			tm.Model.Backward(grad)
+			ClipGrads(tm.Model.Params(), cfg.ClipNorm)
+			opt.Step(tm.Model.Params())
+			total += l
+			batches++
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %d: loss %.6f\n", epoch, total/float64(batches))
+		}
+	}
+}
+
+// Predict returns latency predictions in milliseconds for raw-space inputs,
+// evaluated in batches to bound memory.
+func (tm *TrainedModel) Predict(in Inputs) *tensor.Dense {
+	d := tm.Model.Dims()
+	norm := tm.Norm.Apply(in, d)
+	n := in.Batch()
+	out := tensor.New(n, d.M)
+	const chunk = 512
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		idx := make([]int, e-s)
+		for i := range idx {
+			idx[i] = s + i
+		}
+		pred := tm.Model.Forward(norm.Slice(idx))
+		copy(out.Data[s*d.M:e*d.M], pred.Data)
+	}
+	tensor.ScaleInPlace(out, 1/yScale)
+	return out
+}
+
+// PredictWithLatent returns millisecond predictions plus the latent Lf for
+// models that expose one (LatencyCNN); latent is nil otherwise.
+func (tm *TrainedModel) PredictWithLatent(in Inputs) (*tensor.Dense, *tensor.Dense) {
+	d := tm.Model.Dims()
+	norm := tm.Norm.Apply(in, d)
+	n := in.Batch()
+	out := tensor.New(n, d.M)
+	var latent *tensor.Dense
+	cnn, hasLatent := tm.Model.(*LatencyCNN)
+	if hasLatent {
+		latent = tensor.New(n, cnn.Latent)
+	}
+	const chunk = 512
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		idx := make([]int, e-s)
+		for i := range idx {
+			idx[i] = s + i
+		}
+		pred := tm.Model.Forward(norm.Slice(idx))
+		copy(out.Data[s*d.M:e*d.M], pred.Data)
+		if hasLatent {
+			lf := cnn.LastLatent()
+			copy(latent.Data[s*cnn.Latent:e*cnn.Latent], lf.Data)
+		}
+	}
+	tensor.ScaleInPlace(out, 1/yScale)
+	return out, latent
+}
+
+// RMSE evaluates root-mean-squared error (ms) of the model on a dataset.
+func (tm *TrainedModel) RMSE(in Inputs, yMS *tensor.Dense) float64 {
+	pred := tm.Predict(in)
+	s := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - yMS.Data[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred.Data)))
+}

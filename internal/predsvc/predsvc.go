@@ -1,0 +1,169 @@
+// Package predsvc implements Sinan's prediction service (Sec. 4.1): in the
+// paper the ML models are hosted on a separate GPU server that the
+// centralized scheduler queries once per decision interval. Here the
+// service exposes the hybrid model over net/rpc so the scheduler can run in
+// a different process (or host) from model inference, exactly mirroring the
+// paper's deployment split. A Client implements core.Predictor, so a
+// Scheduler works identically against a local model or a remote service.
+package predsvc
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"sinan/internal/core"
+	"sinan/internal/nn"
+	"sinan/internal/tensor"
+)
+
+// PredictArgs is the wire form of one batched model query.
+type PredictArgs struct {
+	RH, LH, RC []float64
+	Batch      int
+}
+
+// PredictReply carries per-candidate latency predictions (ms, Batch×M,
+// row-major) and violation probabilities.
+type PredictReply struct {
+	Lat   []float64
+	M     int
+	PViol []float64
+}
+
+// MetaReply carries the model metadata the scheduler's filters need.
+type MetaReply struct {
+	Meta core.ModelMeta
+}
+
+// Service is the RPC-exported model host.
+type Service struct {
+	mu    sync.Mutex
+	model *core.HybridModel
+}
+
+// NewService wraps a hybrid model for serving.
+func NewService(m *core.HybridModel) *Service { return &Service{model: m} }
+
+// Swap atomically replaces the served model (incremental retraining pushes
+// a fine-tuned model without restarting the service).
+func (s *Service) Swap(m *core.HybridModel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = m
+}
+
+// Predict implements the RPC method.
+func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
+	s.mu.Lock()
+	m := s.model
+	s.mu.Unlock()
+	d := m.D
+	if args.Batch <= 0 {
+		return fmt.Errorf("predsvc: non-positive batch %d", args.Batch)
+	}
+	if len(args.RH) != args.Batch*d.F*d.N*d.T ||
+		len(args.LH) != args.Batch*d.T*d.M ||
+		len(args.RC) != args.Batch*d.N {
+		return fmt.Errorf("predsvc: input sizes %d/%d/%d do not match batch %d and dims %+v",
+			len(args.RH), len(args.LH), len(args.RC), args.Batch, d)
+	}
+	in := nn.Inputs{
+		RH: tensor.FromSlice(args.RH, args.Batch, d.F, d.N, d.T),
+		LH: tensor.FromSlice(args.LH, args.Batch, d.T, d.M),
+		RC: tensor.FromSlice(args.RC, args.Batch, d.N),
+	}
+	pred, pviol := m.PredictBatch(in)
+	reply.Lat = pred.Data
+	reply.M = d.M
+	reply.PViol = pviol
+	return nil
+}
+
+// Meta implements the RPC method.
+func (s *Service) Meta(_ *struct{}, reply *MetaReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reply.Meta = s.model.Meta()
+	return nil
+}
+
+// Serve registers the service and accepts connections on l until the
+// listener closes. It returns the rpc server for further registration.
+func Serve(l net.Listener, svc *Service) (*rpc.Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Sinan", svc); err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return srv, nil
+}
+
+// ListenAndServe starts the service on the given TCP address and returns
+// the bound listener (close it to stop).
+func ListenAndServe(addr string, m *core.HybridModel) (net.Listener, *Service, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc := NewService(m)
+	if _, err := Serve(l, svc); err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	return l, svc, nil
+}
+
+// Client is a remote hybrid model; it implements core.Predictor so the
+// online scheduler can be pointed at a prediction service transparently.
+type Client struct {
+	rpc  *rpc.Client
+	meta core.ModelMeta
+}
+
+// Dial connects to a prediction service and fetches the model metadata.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var mr MetaReply
+	if err := c.Call("Sinan.Meta", &struct{}{}, &mr); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Client{rpc: c, meta: mr.Meta}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// Meta implements core.Predictor.
+func (c *Client) Meta() core.ModelMeta { return c.meta }
+
+// PredictBatch implements core.Predictor by delegating to the service. RPC
+// failures surface as panics: the scheduler has no useful recourse if its
+// model host is gone, and the caller's safety net (deploying without a
+// model is not allowed) should treat this as a crash.
+func (c *Client) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
+	args := &PredictArgs{
+		RH:    in.RH.Data,
+		LH:    in.LH.Data,
+		RC:    in.RC.Data,
+		Batch: in.Batch(),
+	}
+	var reply PredictReply
+	if err := c.rpc.Call("Sinan.Predict", args, &reply); err != nil {
+		panic(fmt.Sprintf("predsvc: predict RPC failed: %v", err))
+	}
+	return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol
+}

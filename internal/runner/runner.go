@@ -1,0 +1,185 @@
+// Package runner wires a simulated cluster, a workload generator, and a
+// resource-management policy into Sinan's control loop (Sec. 4.1): every
+// one-second decision interval the centralized scheduler reads per-tier
+// stats from the node agents and load statistics from the API gateway,
+// consults the policy, and enforces the chosen per-tier CPU allocation.
+// The same loop drives Sinan, the baselines, and the data-collection
+// policies, so comparisons share identical plumbing.
+package runner
+
+import (
+	"sinan/internal/apps"
+	"sinan/internal/cluster"
+	"sinan/internal/dataset"
+	"sinan/internal/metrics"
+	"sinan/internal/sim"
+	"sinan/internal/workload"
+)
+
+// Interval is the decision interval in simulated seconds, matching the
+// granularity at which the paper's QoS is defined.
+const Interval = 1.0
+
+// State is the cluster/application snapshot a policy decides on.
+type State struct {
+	Time  float64
+	Stats []cluster.Stats     // per-tier stats for the elapsed interval
+	Perc  metrics.Percentiles // end-to-end latency summary of the interval
+	Alloc []float64           // allocation currently in force
+	RPS   float64             // API-gateway arrival rate over the interval
+	QoSMS float64
+}
+
+// Decision is a policy's output for the next interval.
+type Decision struct {
+	Alloc     []float64 // per-tier CPU allocation to enforce
+	PredP99MS float64   // model-predicted p99 for the chosen action (0 if n/a)
+	PViol     float64   // model-predicted violation probability (0 if n/a)
+}
+
+// Policy decides per-tier CPU allocations once per decision interval.
+type Policy interface {
+	Name() string
+	Decide(s State) Decision
+}
+
+// TraceRow is one decision interval's record in a run trace.
+type TraceRow struct {
+	Time      float64
+	RPS       float64
+	P99MS     float64
+	Drops     int
+	PredP99MS float64
+	PViol     float64
+	Total     float64   // aggregate allocated cores
+	Alloc     []float64 // per-tier allocation in force during the interval
+}
+
+// Config describes one managed run.
+type Config struct {
+	App      *apps.App
+	Policy   Policy
+	Pattern  workload.Pattern
+	Duration float64 // simulated seconds
+	Seed     int64
+
+	Warmup    float64           // seconds excluded from the QoS meter
+	Recorder  *dataset.Recorder // optional training-data sink
+	InitAlloc []float64         // starting allocation (default: per-tier max)
+	KeepTrace bool              // retain the per-interval trace
+}
+
+// Result summarises a managed run.
+type Result struct {
+	Meter     *metrics.QoSMeter
+	Trace     []TraceRow
+	Completed int64
+	Dropped   int64
+}
+
+// Run executes one managed run to completion.
+func Run(cfg Config) *Result {
+	eng := &sim.Engine{}
+	rng := sim.NewRNG(cfg.Seed)
+	cl := cluster.New(eng, rng.Fork(), cfg.App.Tiers)
+	if cfg.InitAlloc != nil {
+		cl.SetAlloc(cfg.InitAlloc)
+	}
+	gen := workload.NewGenerator(cl, cfg.App, rng.Fork(), cfg.Pattern)
+	gen.Start()
+
+	meter := metrics.NewQoSMeter(cfg.App.QoSMS)
+	res := &Result{Meter: meter}
+	lastSubmitted := int64(0)
+
+	intervals := int(cfg.Duration / Interval)
+	for i := 0; i < intervals; i++ {
+		eng.Run(float64(i+1) * Interval)
+
+		stats := cl.ReadStats()
+		perc := gen.Window.Flush()
+		submitted := gen.Submitted()
+		rps := float64(submitted-lastSubmitted) / Interval
+		lastSubmitted = submitted
+		state := State{
+			Time:  eng.Now(),
+			Stats: stats,
+			Perc:  perc,
+			Alloc: cl.Alloc(),
+			RPS:   rps,
+			QoSMS: cfg.App.QoSMS,
+		}
+		dec := cfg.Policy.Decide(state)
+		if dec.Alloc == nil {
+			dec.Alloc = state.Alloc
+		}
+
+		if cfg.Recorder != nil {
+			cfg.Recorder.Observe(stats, perc, dec.Alloc)
+		}
+		if state.Time > cfg.Warmup {
+			meter.Observe(perc, totalOf(state.Alloc))
+		}
+		if cfg.KeepTrace {
+			res.Trace = append(res.Trace, TraceRow{
+				Time:      state.Time,
+				RPS:       rps,
+				P99MS:     perc.P99(),
+				Drops:     perc.Drops,
+				PredP99MS: dec.PredP99MS,
+				PViol:     dec.PViol,
+				Total:     totalOf(state.Alloc),
+				Alloc:     append([]float64(nil), state.Alloc...),
+			})
+		}
+		cl.SetAlloc(dec.Alloc)
+	}
+	res.Completed = cl.Completed()
+	res.Dropped = cl.DroppedRequests()
+	return res
+}
+
+func totalOf(alloc []float64) float64 {
+	s := 0.0
+	for _, v := range alloc {
+		s += v
+	}
+	return s
+}
+
+// Static is a policy that always returns a fixed allocation; StaticMax (nil
+// target) holds whatever allocation is already in force. Used for capacity
+// probes and as the "no management" control.
+type Static struct {
+	Target []float64
+	Label  string
+}
+
+// Name implements Policy.
+func (s *Static) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "static"
+}
+
+// Decide implements Policy.
+func (s *Static) Decide(st State) Decision {
+	if s.Target == nil {
+		return Decision{Alloc: st.Alloc}
+	}
+	return Decision{Alloc: s.Target}
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+func PolicyFunc(name string, fn func(State) Decision) Policy {
+	return policyFunc{name: name, fn: fn}
+}
+
+type policyFunc struct {
+	name string
+	fn   func(State) Decision
+}
+
+func (p policyFunc) Name() string            { return p.name }
+func (p policyFunc) Decide(s State) Decision { return p.fn(s) }

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"testing"
+
+	"sinan/internal/apps"
+	"sinan/internal/dataset"
+	"sinan/internal/nn"
+	"sinan/internal/workload"
+)
+
+func TestRunStaticMax(t *testing.T) {
+	app := apps.NewHotelReservation()
+	res := Run(Config{
+		App:       app,
+		Policy:    &Static{Label: "max"},
+		Pattern:   workload.Constant(500),
+		Duration:  20,
+		Seed:      1,
+		Warmup:    5,
+		KeepTrace: true,
+	})
+	if res.Meter.Intervals() != 15 {
+		t.Fatalf("meter intervals = %d, want 15 (20s − 5s warmup)", res.Meter.Intervals())
+	}
+	if res.Meter.MeetProb() < 0.99 {
+		t.Fatalf("static max should meet QoS at moderate load: %v", res.Meter.MeetProb())
+	}
+	if len(res.Trace) != 20 {
+		t.Fatalf("trace rows = %d", len(res.Trace))
+	}
+	if res.Completed < 5000 {
+		t.Fatalf("completed = %d, want ≳ 10000", res.Completed)
+	}
+	row := res.Trace[10]
+	if row.RPS < 400 || row.RPS > 600 {
+		t.Fatalf("traced RPS = %v, want ~500", row.RPS)
+	}
+	if row.Total <= 0 || len(row.Alloc) != len(app.Tiers) {
+		t.Fatalf("trace alloc malformed: %+v", row)
+	}
+}
+
+func TestRunFeedsRecorder(t *testing.T) {
+	app := apps.NewHotelReservation()
+	d := nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}
+	ds := dataset.New(d, 5)
+	rec := dataset.NewRecorder(ds, app.QoSMS)
+	Run(Config{
+		App:      app,
+		Policy:   &Static{},
+		Pattern:  workload.Constant(200),
+		Duration: 30,
+		Seed:     2,
+		Recorder: rec,
+	})
+	// Samples are created once the T=5 window fills (intervals 5..30) and
+	// resolve K=5 intervals later, so intervals 5..25 yield 21 samples.
+	if ds.Len() != 21 {
+		t.Fatalf("recorded samples = %d, want 21", ds.Len())
+	}
+}
+
+func TestRunAppliesPolicyAllocation(t *testing.T) {
+	app := apps.NewHotelReservation()
+	target := make([]float64, len(app.Tiers))
+	for i := range target {
+		target[i] = 0.5
+	}
+	res := Run(Config{
+		App:       app,
+		Policy:    &Static{Target: target, Label: "tiny"},
+		Pattern:   workload.Constant(10),
+		Duration:  5,
+		Seed:      3,
+		KeepTrace: true,
+	})
+	last := res.Trace[len(res.Trace)-1]
+	// After the first decision the allocation should be 0.5/tier.
+	if last.Alloc[0] != 0.5 {
+		t.Fatalf("policy allocation not applied: %v", last.Alloc[0])
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	app := apps.NewSocialNetwork()
+	run := func() *Result {
+		return Run(Config{
+			App:       app,
+			Policy:    &Static{},
+			Pattern:   workload.Constant(100),
+			Duration:  10,
+			Seed:      7,
+			KeepTrace: true,
+		})
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed {
+		t.Fatalf("runs diverge: %d vs %d completed", a.Completed, b.Completed)
+	}
+	for i := range a.Trace {
+		if a.Trace[i].P99MS != b.Trace[i].P99MS {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTraceCSV writes a run trace as CSV: the fixed columns followed by
+// one column per tier (named by tierNames, which may be nil to omit
+// per-tier allocations). This is the log format the repository's processing
+// helpers and external plotting consume.
+func WriteTraceCSV(w io.Writer, trace []TraceRow, tierNames []string) error {
+	cols := []string{"time_s", "rps", "p99_ms", "drops", "pred_p99_ms", "p_viol", "total_cpu"}
+	for _, n := range tierNames {
+		cols = append(cols, "cpu_"+sanitize(n))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range trace {
+		fields := []string{
+			fmt.Sprintf("%.0f", row.Time),
+			fmt.Sprintf("%.1f", row.RPS),
+			fmt.Sprintf("%.2f", row.P99MS),
+			fmt.Sprintf("%d", row.Drops),
+			fmt.Sprintf("%.2f", row.PredP99MS),
+			fmt.Sprintf("%.4f", row.PViol),
+			fmt.Sprintf("%.2f", row.Total),
+		}
+		for i := range tierNames {
+			v := 0.0
+			if i < len(row.Alloc) {
+				v = row.Alloc[i]
+			}
+			fields = append(fields, fmt.Sprintf("%.2f", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// TraceSummary aggregates a run trace into the quantities the paper's
+// processing scripts compute: QoS attainment, mean/max aggregate CPU, and
+// mean prediction bias where predictions exist.
+type TraceSummary struct {
+	Intervals   int
+	MeetQoS     float64
+	MeanCPU     float64
+	MaxCPU      float64
+	MeanP99     float64
+	MaxP99      float64
+	PredBias    float64 // mean (predicted − measured) p99 over predicted rows
+	PredGuarded int     // rows with a model prediction attached
+}
+
+// Summarize computes a TraceSummary for rows after the warmup time.
+func Summarize(trace []TraceRow, qosMS, warmup float64) TraceSummary {
+	var s TraceSummary
+	met := 0
+	for _, row := range trace {
+		if row.Time <= warmup {
+			continue
+		}
+		s.Intervals++
+		if row.P99MS <= qosMS && row.Drops == 0 {
+			met++
+		}
+		s.MeanCPU += row.Total
+		if row.Total > s.MaxCPU {
+			s.MaxCPU = row.Total
+		}
+		s.MeanP99 += row.P99MS
+		if row.P99MS > s.MaxP99 {
+			s.MaxP99 = row.P99MS
+		}
+		if row.PredP99MS != 0 {
+			s.PredBias += row.PredP99MS - row.P99MS
+			s.PredGuarded++
+		}
+	}
+	if s.Intervals > 0 {
+		s.MeetQoS = float64(met) / float64(s.Intervals)
+		s.MeanCPU /= float64(s.Intervals)
+		s.MeanP99 /= float64(s.Intervals)
+	}
+	if s.PredGuarded > 0 {
+		s.PredBias /= float64(s.PredGuarded)
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() []TraceRow {
+	return []TraceRow{
+		{Time: 1, RPS: 100, P99MS: 50, Total: 10, Alloc: []float64{4, 6}},
+		{Time: 2, RPS: 110, P99MS: 250, Drops: 0, PredP99MS: 200, PViol: 0.2, Total: 12, Alloc: []float64{5, 7}},
+		{Time: 3, RPS: 90, P99MS: 80, PredP99MS: 100, PViol: 0.05, Total: 8, Alloc: []float64{3, 5}},
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, sampleTrace(), []string{"front end", "db"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want header + 3 rows", len(lines))
+	}
+	if !strings.Contains(lines[0], "cpu_front_end") || !strings.Contains(lines[0], "cpu_db") {
+		t.Fatalf("header missing sanitised tier columns: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2,110.0,250.00,0,200.00,0.2000,12.00,5.00,7.00") {
+		t.Fatalf("row 2 malformed: %s", lines[2])
+	}
+}
+
+func TestWriteTraceCSVNoTiers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, sampleTrace(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "cpu_") && strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "cpu_f") {
+		t.Fatal("nil tier names should omit per-tier columns")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleTrace(), 200, 0)
+	if s.Intervals != 3 {
+		t.Fatalf("intervals = %d", s.Intervals)
+	}
+	if math.Abs(s.MeetQoS-2.0/3) > 1e-9 {
+		t.Fatalf("meet = %v", s.MeetQoS)
+	}
+	if math.Abs(s.MeanCPU-10) > 1e-9 || s.MaxCPU != 12 {
+		t.Fatalf("cpu stats: mean=%v max=%v", s.MeanCPU, s.MaxCPU)
+	}
+	if s.MaxP99 != 250 {
+		t.Fatalf("max p99 = %v", s.MaxP99)
+	}
+	// Bias over the two predicted rows: (200−250 + 100−80)/2 = −15.
+	if s.PredGuarded != 2 || math.Abs(s.PredBias-(-15)) > 1e-9 {
+		t.Fatalf("bias = %v over %d rows", s.PredBias, s.PredGuarded)
+	}
+}
+
+func TestSummarizeWarmupExcluded(t *testing.T) {
+	s := Summarize(sampleTrace(), 200, 1)
+	if s.Intervals != 2 {
+		t.Fatalf("warmup not excluded: %d intervals", s.Intervals)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 200, 0)
+	if s.Intervals != 0 || s.MeetQoS != 0 || s.PredBias != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}

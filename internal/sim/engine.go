@@ -1,0 +1,117 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used as the substrate for the microservice cluster model. All time is
+// simulated (seconds as float64); nothing in this package touches the wall
+// clock, so experiments are reproducible given a fixed RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled (seq breaks ties), which keeps runs deterministic.
+type Event struct {
+	Time float64
+	seq  int64
+	Fn   func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	pq   eventHeap
+	now  float64
+	seq  int64
+	halt bool
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it always indicates a logic error in the caller.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.6f before now %.6f", t, e.now))
+	}
+	ev := &Event{Time: t, seq: e.seq, Fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel marks an event so it is skipped when it reaches the head of the
+// queue. Cancelling an already-fired event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.Fn = nil
+	}
+}
+
+// Run executes events in timestamp order until the queue empties, until an
+// event is scheduled past the until horizon, or until Halt is called. The
+// clock is left at min(until, time of last executed event horizon).
+func (e *Engine) Run(until float64) {
+	e.halt = false
+	for len(e.pq) > 0 && !e.halt {
+		ev := e.pq[0]
+		if ev.Time > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = ev.Time
+		if ev.Fn != nil {
+			ev.Fn()
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Step executes exactly one pending event (if any) and reports whether an
+// event was executed. Cancelled events are skipped and do not count.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		e.now = ev.Time
+		if ev.Fn == nil {
+			continue
+		}
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Halt stops the current Run after the in-flight event returns.
+func (e *Engine) Halt() { e.halt = true }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []float64
+	for _, ts := range []float64{3, 1, 2, 1.5, 0.5} {
+		ts := ts
+		e.At(ts, func() { got = append(got, ts) })
+	}
+	e.Run(10)
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 events, got %d", len(got))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock should advance to horizon, got %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(1.0, func() { got = append(got, i) })
+	}
+	e.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(1, func() { times = append(times, e.Now()) })
+	})
+	e.Run(5)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("nested scheduling broken: %v", times)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(2)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineHorizonLeavesFutureEvents(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(5, func() { fired = true })
+	e.Run(3)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if e.Now() != 3 {
+		t.Fatalf("now = %v, want 3", e.Now())
+	}
+	e.Run(6)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(2, func() {})
+	e.Run(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestEngineHalt(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("halt did not stop run: %d events fired", count)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	var e Engine
+	n := 0
+	e.At(1, func() { n++ })
+	ev := e.At(2, func() { n++ })
+	e.Cancel(ev)
+	e.At(3, func() { n++ })
+	steps := 0
+	for e.Step() {
+		steps++
+	}
+	if steps != 2 || n != 2 {
+		t.Fatalf("steps=%d n=%d, want 2 and 2", steps, n)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(1)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("exp mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestRNGLogNormalMoments(t *testing.T) {
+	g := NewRNG(2)
+	const mean, cv, n = 10.0, 0.5, 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.LogNormal(mean, cv)
+		if v < 0 {
+			t.Fatal("lognormal sample must be non-negative")
+		}
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumsq/n - m*m)
+	if math.Abs(m-mean) > 0.15 {
+		t.Fatalf("lognormal mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(sd/m-cv) > 0.05 {
+		t.Fatalf("lognormal cv = %v, want ~%v", sd/m, cv)
+	}
+}
+
+func TestRNGPoissonMean(t *testing.T) {
+	g := NewRNG(3)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		sum := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += g.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	g := NewRNG(4)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[g.Zipf(10, 1.0)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("zipf should skew toward low ranks: %v", counts)
+	}
+	// Rank-0 over rank-1 ratio should be roughly 2 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("zipf rank ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestRNGZipfBounds(t *testing.T) {
+	g := NewRNG(5)
+	f := func(n uint8, s float64) bool {
+		size := int(n%50) + 1
+		v := g.Zipf(size, math.Abs(s))
+		return v >= 0 && v < size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(6)
+	a := g.Fork()
+	b := g.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams look identical (%d matches)", same)
+	}
+}
+
+func TestRNGPermAndShuffle(t *testing.T) {
+	g := NewRNG(9)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	sum := 0
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	g := NewRNG(10)
+	sum, sumsq := 0.0, 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := g.Normal(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 || math.Abs(sd-2) > 0.05 {
+		t.Fatalf("normal moments: mean=%v sd=%v", mean, sd)
+	}
+}
+
+func TestEngineCancelNilSafe(t *testing.T) {
+	var e Engine
+	e.Cancel(nil) // must not panic
+	if e.Pending() != 0 {
+		t.Fatal("pending after nil cancel")
+	}
+}

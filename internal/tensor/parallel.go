@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate multiply count above which matmuls
+// fan out across goroutines.
+const parallelThreshold = 1 << 18
+
+// ParallelFor runs fn(start, end) over [0, n) split into roughly equal
+// chunks across GOMAXPROCS goroutines. Each index is covered exactly once;
+// chunk boundaries are deterministic so floating-point reductions performed
+// per-chunk stay reproducible.
+func ParallelFor(n int, fn func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n <= 1 || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Dense) *Dense {
+	if len(a.Shape) != 2 {
+		panic("tensor: transpose requires 2-D")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+// Package tensor provides the minimal dense float64 tensor the neural
+// network stack needs: shape-checked element access, matrix multiplication,
+// and simple elementwise helpers. Layouts are row-major; the last axis is
+// contiguous.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense tensor.
+type Dense struct {
+	Shape []int
+	Data  []float64
+}
+
+// New creates a zero-filled tensor with the given shape.
+func New(shape ...int) *Dense {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %v", shape))
+		}
+		n *= s
+	}
+	return &Dense{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) *Dense {
+	t := &Dense{Shape: append([]int(nil), shape...), Data: data}
+	if t.Size() != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v incompatible with %d elements", shape, len(data)))
+	}
+	return t
+}
+
+// Size returns the total number of elements.
+func (t *Dense) Size() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Dense) Clone() *Dense {
+	return &Dense{Shape: append([]int(nil), t.Shape...), Data: append([]float64(nil), t.Data...)}
+}
+
+// Reshape returns a view with a new shape of identical size.
+func (t *Dense) Reshape(shape ...int) *Dense {
+	v := &Dense{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return v
+}
+
+// Zero sets all elements to zero.
+func (t *Dense) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Dense) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// At returns the element at the given indices.
+func (t *Dense) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given indices.
+func (t *Dense) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Dense) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// MatMul computes C = A·B for 2-D tensors [m,k]·[k,n] → [m,n].
+func MatMul(a, b *Dense) *Dense {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shapes %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	rows := func(start, end int) {
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+	if m*k*n >= parallelThreshold {
+		ParallelFor(m, rows)
+	} else {
+		rows(0, m)
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for [k,m]ᵀ·[k,n] → [m,n].
+func MatMulTransA(a, b *Dense) *Dense {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulᵀa shapes %v × %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if k*m*n >= parallelThreshold {
+		return MatMul(Transpose(a), b)
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for [m,k]·[n,k]ᵀ → [m,n].
+func MatMulTransB(a, b *Dense) *Dense {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulᵀb shapes %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	rows := func(start, end int) {
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				crow[j] = s
+			}
+		}
+	}
+	if m*k*n >= parallelThreshold {
+		ParallelFor(m, rows)
+	} else {
+		rows(0, m)
+	}
+	return c
+}
+
+// AddInPlace adds b into a elementwise.
+func AddInPlace(a, b *Dense) {
+	if a.Size() != b.Size() {
+		panic("tensor: add size mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func ScaleInPlace(a *Dense, s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// Norm returns the L2 norm of the tensor.
+func Norm(a *Dense) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Concat concatenates 2-D tensors [B, d_i] along axis 1 → [B, Σd_i].
+func Concat(ts ...*Dense) *Dense {
+	if len(ts) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	b := ts[0].Shape[0]
+	total := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[0] != b {
+			panic("tensor: concat requires 2-D tensors with equal batch")
+		}
+		total += t.Shape[1]
+	}
+	out := New(b, total)
+	for i := 0; i < b; i++ {
+		off := i * total
+		for _, t := range ts {
+			d := t.Shape[1]
+			copy(out.Data[off:off+d], t.Data[i*d:(i+1)*d])
+			off += d
+		}
+	}
+	return out
+}
+
+// SplitGrad splits a concatenated gradient [B, Σd_i] back into parts with
+// widths dims, inverting Concat.
+func SplitGrad(g *Dense, dims ...int) []*Dense {
+	b := g.Shape[0]
+	total := 0
+	for _, d := range dims {
+		total += d
+	}
+	if len(g.Shape) != 2 || g.Shape[1] != total {
+		panic("tensor: split width mismatch")
+	}
+	outs := make([]*Dense, len(dims))
+	for k, d := range dims {
+		outs[k] = New(b, d)
+	}
+	for i := 0; i < b; i++ {
+		off := i * total
+		for k, d := range dims {
+			copy(outs[k].Data[i*d:(i+1)*d], g.Data[off:off+d])
+			off += d
+		}
+	}
+	return outs
+}

@@ -1,0 +1,93 @@
+package sinan
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sinan/internal/apps"
+)
+
+func TestFacadeConstructors(t *testing.T) {
+	hotel := HotelReservation()
+	if hotel.QoSMS != 200 || len(hotel.Tiers) != 17 {
+		t.Fatalf("hotel facade: qos=%v tiers=%d", hotel.QoSMS, len(hotel.Tiers))
+	}
+	social := SocialNetwork(OnGCE, WithLogSync())
+	if social.QoSMS != 500 || len(social.Tiers) != 28 {
+		t.Fatalf("social facade: qos=%v tiers=%d", social.QoSMS, len(social.Tiers))
+	}
+	if Constant(5).RPS(0) != 5 {
+		t.Fatal("constant pattern broken")
+	}
+	d := Diurnal(10, 20, 100)
+	if d.RPS(50) != 20 {
+		t.Fatalf("diurnal peak = %v", d.RPS(50))
+	}
+}
+
+func TestFacadePipelineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline")
+	}
+	app := HotelReservation()
+	ds := Collect(app, CollectOptions{Duration: 600, Seed: 99})
+	if ds.Len() < 400 {
+		t.Fatalf("collected %d samples", ds.Len())
+	}
+	model, rep := Train(ds, app.QoSMS, TrainOptions{Seed: 99, Epochs: 4})
+	if rep.ValRMSE <= 0 {
+		t.Fatal("training produced no report")
+	}
+	// Save/LoadModel round trip through the facade.
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Manage(app, Scheduler(app, loaded), RunOptions{
+		Load: Constant(800), Duration: 40, Seed: 9, Warmup: 10, KeepTrace: true,
+	})
+	if res.Meter.Intervals() != 30 {
+		t.Fatalf("intervals = %d", res.Meter.Intervals())
+	}
+	if len(res.Trace) != 40 {
+		t.Fatalf("trace length = %d", len(res.Trace))
+	}
+
+	// Explainability entry points run and rank everything.
+	tiers := ExplainTiers(loaded, ds, app)
+	if len(tiers) != len(app.Tiers) {
+		t.Fatalf("tier ranking covers %d of %d tiers", len(tiers), len(app.Tiers))
+	}
+	res2 := ExplainResources(loaded, ds, 0)
+	if len(res2) != len(ResourceChannelNames) {
+		t.Fatalf("resource ranking covers %d channels", len(res2))
+	}
+}
+
+func TestBaselinePoliciesConstruct(t *testing.T) {
+	for _, p := range []Policy{AutoScaleOpt(), AutoScaleCons(), PowerChief()} {
+		if p.Name() == "" {
+			t.Fatal("baseline policy without a name")
+		}
+	}
+}
+
+func TestCollectDefaultsPerApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collection")
+	}
+	// Social defaults to the 50–450 range; a tiny run should stay cheap.
+	app := SocialNetwork()
+	ds := Collect(app, CollectOptions{Duration: 120, Seed: 1})
+	if ds.Len() == 0 {
+		t.Fatal("no samples collected with default ranges")
+	}
+	if ds.D.N != len(app.Tiers) {
+		t.Fatal("dims not derived from app")
+	}
+	_ = apps.MixW0
+}
