@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet check bench speedup
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full verification gate (vet + build + test + race). Pass ARGS=-short
+# to keep the test stages fast.
+check:
+	./scripts/check.sh $(ARGS)
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Serial-vs-parallel wall-clock comparison of the run harness; emits a
+# machine-readable {"bench":"suite_speedup",...} JSON line.
+speedup:
+	$(GO) test -run='^$$' -bench=BenchmarkSuiteSpeedup -benchtime=1x

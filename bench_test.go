@@ -1,10 +1,13 @@
 package sinan
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"sinan/internal/apps"
 	"sinan/internal/cluster"
@@ -143,6 +146,42 @@ func BenchmarkSinanManagedSecond(b *testing.B) {
 		Manage(app, sched, RunOptions{Load: Constant(200), Duration: 10, Seed: int64(i)})
 	}
 	b.ReportMetric(10, "simsec/op")
+}
+
+// BenchmarkSuiteSpeedup measures the wall-clock benefit of the parallel
+// suite executor: the same eight-run suite executed with one worker and
+// with GOMAXPROCS workers. Besides the reported metric it prints one
+// machine-readable JSON line per iteration, so CI logs can be scraped for
+// the measured speedup. On a single-CPU host the honest result is ~1x.
+func BenchmarkSuiteSpeedup(b *testing.B) {
+	l := sharedLab()
+	m, _ := l.HotelModel()
+	app := apps.NewHotelReservation()
+	mkSuite := func() Suite {
+		var specs []RunSpec
+		for i, load := range []float64{1000, 1400, 1800, 2200, 2600, 3000, 3400, 3700} {
+			specs = append(specs, RunSpec{
+				Name: fmt.Sprintf("load-%d", int(load)), App: app,
+				Policy:  SchedulerFactory(app, m),
+				Pattern: Constant(load), Duration: 40, Seed: int64(100 + i), Warmup: 10,
+			})
+		}
+		return Suite{Name: "speedup", BaseSeed: 1, Specs: specs}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s0 := time.Now()
+		RunSuite(mkSuite(), 1)
+		serial := time.Since(s0)
+		p0 := time.Now()
+		RunSuite(mkSuite(), workers)
+		par := time.Since(p0)
+		speedup := serial.Seconds() / par.Seconds()
+		b.ReportMetric(speedup, "speedup")
+		fmt.Printf("{\"bench\":\"suite_speedup\",\"workers\":%d,\"serial_ms\":%.1f,\"parallel_ms\":%.1f,\"speedup\":%.2f}\n",
+			workers, float64(serial.Microseconds())/1000, float64(par.Microseconds())/1000, speedup)
+	}
 }
 
 // BenchmarkAutoscaleManagedSecond is the baseline-policy counterpart of

@@ -14,18 +14,22 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"sinan/internal/experiments"
+	"sinan/internal/harness"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4) or 'all'")
-		full   = flag.Bool("full", false, "full-size runs (default: quick mode)")
-		list   = flag.Bool("list", false, "list available experiments")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
-		quiet  = flag.Bool("q", false, "suppress progress logging")
+		exp     = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4) or 'all'")
+		full    = flag.Bool("full", false, "full-size runs (default: quick mode)")
+		list    = flag.Bool("list", false, "list available experiments")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+		workers = flag.Int("workers", 0, "worker pool size for runs within an experiment (0 = GOMAXPROCS, 1 = serial)")
+		par     = flag.Bool("par", false, "run the selected experiments themselves concurrently (tables are buffered and printed in order)")
 	)
 	flag.Parse()
 
@@ -38,6 +42,7 @@ func main() {
 
 	logw := os.Stderr
 	lab := experiments.NewLab(!*full, logw)
+	lab.Workers = *workers
 	if *quiet {
 		lab.Log = nil
 	}
@@ -55,9 +60,7 @@ func main() {
 		}
 	}
 
-	for _, e := range todo {
-		fmt.Fprintf(os.Stderr, "\n--- running %s: %s ---\n", e.ID, e.Title)
-		tables := e.Run(lab)
+	emit := func(e experiments.Experiment, tables []*experiments.Table) {
 		for i, t := range tables {
 			t.Render(os.Stdout)
 			if *csvDir != "" {
@@ -73,5 +76,23 @@ func main() {
 				f.Close()
 			}
 		}
+	}
+
+	if *par {
+		// Run whole experiments concurrently on the shared lab (its caches
+		// and the run harness are concurrency-safe); tables are buffered and
+		// rendered afterwards in the order the experiments were requested.
+		results := harness.Map(len(todo), runtime.GOMAXPROCS(0), func(i int) []*experiments.Table {
+			fmt.Fprintf(os.Stderr, "--- running %s: %s ---\n", todo[i].ID, todo[i].Title)
+			return todo[i].Run(lab)
+		})
+		for i, tables := range results {
+			emit(todo[i], tables)
+		}
+		return
+	}
+	for _, e := range todo {
+		fmt.Fprintf(os.Stderr, "\n--- running %s: %s ---\n", e.ID, e.Title)
+		emit(e, e.Run(lab))
 	}
 }

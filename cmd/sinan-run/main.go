@@ -7,6 +7,9 @@
 //	sinan-collect -app hotel -out hotel.ds
 //	sinan-train -data hotel.ds -qos 200 -out hotel.model
 //	sinan-run -app hotel -policy sinan -model hotel.model -load 2000 -duration 180
+//
+// With -seeds N the same configuration runs under N consecutive seeds as a
+// parallel suite and prints per-seed plus aggregate summaries.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"sinan/internal/apps"
 	"sinan/internal/baselines"
 	"sinan/internal/core"
+	"sinan/internal/harness"
 	"sinan/internal/predsvc"
 	"sinan/internal/runner"
 	"sinan/internal/workload"
@@ -38,8 +42,13 @@ func main() {
 		connect  = flag.String("connect", "", "prediction-service address (use a remote model via sinan-serve)")
 		csvPath  = flag.String("csv", "", "write the per-interval trace as CSV to this file")
 		platform = flag.String("platform", "local", "platform: local | gce")
+		seeds    = flag.Int("seeds", 1, "run N seeds (seed, seed+1, ...) in parallel and report per-seed plus aggregate summaries")
 	)
 	flag.Parse()
+
+	if *seeds > 1 && (*connect != "" || *trace || *csvPath != "") {
+		log.Fatal("-seeds > 1 cannot be combined with -connect, -trace, or -csv")
+	}
 
 	var opts []apps.Option
 	if *platform == "gce" {
@@ -55,33 +64,34 @@ func main() {
 		log.Fatalf("unknown app %q", *appName)
 	}
 
-	var pol runner.Policy
+	// Policies carry per-run state, so runs are built from a factory: every
+	// seed gets a fresh policy instance (and, for sinan, its own model clone).
+	var mkPolicy runner.PolicyFactory
 	switch *policy {
 	case "sinan":
-		var pred core.Predictor
+		schedOpts := core.SchedulerOptions{Pd: *pd, Pu: *pu}
 		if *connect != "" {
 			c, err := predsvc.Dial(*connect)
 			if err != nil {
 				log.Fatalf("connecting to prediction service: %v", err)
 			}
 			defer c.Close()
-			pred = c
+			mkPolicy = func() runner.Policy { return core.NewScheduler(app, c, schedOpts) }
 		} else {
 			m, err := core.LoadHybrid(*model)
 			if err != nil {
 				log.Fatalf("loading model: %v (train one with sinan-train)", err)
 			}
-			pred = m
+			mkPolicy = core.SchedulerFactory(app, m, schedOpts)
 		}
-		pol = core.NewScheduler(app, pred, core.SchedulerOptions{Pd: *pd, Pu: *pu})
 	case "autoscale-opt":
-		pol = baselines.NewAutoScaleOpt()
+		mkPolicy = func() runner.Policy { return baselines.NewAutoScaleOpt() }
 	case "autoscale-cons":
-		pol = baselines.NewAutoScaleCons()
+		mkPolicy = func() runner.Policy { return baselines.NewAutoScaleCons() }
 	case "powerchief":
-		pol = baselines.NewPowerChief()
+		mkPolicy = func() runner.Policy { return baselines.NewPowerChief() }
 	case "static":
-		pol = &runner.Static{Label: "static-max"}
+		mkPolicy = func() runner.Policy { return &runner.Static{Label: "static-max"} }
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
@@ -91,6 +101,12 @@ func main() {
 		pattern = workload.Diurnal{Min: *load / 4, Max: *load, Period: *duration}
 	}
 
+	if *seeds > 1 {
+		multiSeed(app, mkPolicy, pattern, *load, *duration, *seed, *seeds)
+		return
+	}
+
+	pol := mkPolicy()
 	fmt.Fprintf(os.Stderr, "running %s under %s at %.0f users for %.0fs...\n",
 		app.Name, pol.Name(), *load, *duration)
 	res := runner.Run(runner.Config{
@@ -119,4 +135,39 @@ func main() {
 	fmt.Printf("policy=%s users=%.0f meetQoS=%.3f meanCPU=%.1f maxCPU=%.1f completed=%d dropped=%d\n",
 		pol.Name(), *load, res.Meter.MeetProb(), res.Meter.MeanAlloc(), res.Meter.MaxAlloc(),
 		res.Completed, res.Dropped)
+}
+
+// multiSeed runs the same configuration under N consecutive seeds as one
+// parallel suite and prints per-seed summaries plus the aggregate.
+func multiSeed(app *apps.App, mk runner.PolicyFactory, pattern workload.Pattern,
+	load, duration float64, base int64, n int) {
+	specs := make([]harness.RunSpec, n)
+	for i := range specs {
+		specs[i] = harness.RunSpec{
+			Name: fmt.Sprintf("seed-%d", base+int64(i)), App: app,
+			Policy: mk, Pattern: pattern,
+			Duration: duration, Seed: base + int64(i), Warmup: 15,
+		}
+	}
+	polName := mk().Name()
+	fmt.Fprintf(os.Stderr, "running %s under %s at %.0f users for %.0fs x %d seeds...\n",
+		app.Name, polName, load, duration, n)
+	outs := harness.Run(harness.Suite{Name: "sinan-run", BaseSeed: base, Specs: specs},
+		harness.Options{Progress: os.Stderr})
+
+	var meet, mean, maxA float64
+	for _, o := range outs {
+		res := o.Result
+		fmt.Printf("seed=%d meetQoS=%.3f meanCPU=%.1f maxCPU=%.1f completed=%d dropped=%d\n",
+			o.Seed, res.Meter.MeetProb(), res.Meter.MeanAlloc(), res.Meter.MaxAlloc(),
+			res.Completed, res.Dropped)
+		meet += res.Meter.MeetProb()
+		mean += res.Meter.MeanAlloc()
+		if res.Meter.MaxAlloc() > maxA {
+			maxA = res.Meter.MaxAlloc()
+		}
+	}
+	fn := float64(n)
+	fmt.Printf("aggregate policy=%s users=%.0f seeds=%d meanMeetQoS=%.3f meanCPU=%.1f maxCPU=%.1f\n",
+		polName, load, n, meet/fn, mean/fn, maxA)
 }

@@ -211,6 +211,18 @@ func calibrateThresholds(bt *boost.Model, X [][]float64, y []bool) (pd, pu float
 	return pd, pu
 }
 
+// Clone returns a hybrid model that shares no mutable state with the
+// receiver: the CNN (whose layers cache activations during Forward) is
+// deep-copied, while the Boosted Trees stage is shared — tree traversal is
+// read-only. Concurrent managed runs must each use their own clone so model
+// queries proceed in parallel instead of serialising on the CNN's internal
+// lock.
+func (m *HybridModel) Clone() *HybridModel {
+	cp := *m
+	cp.Lat = m.Lat.Clone()
+	return &cp
+}
+
 // Meta implements the scheduler's Predictor interface.
 func (m *HybridModel) Meta() ModelMeta {
 	return ModelMeta{D: m.D, QoSMS: m.QoSMS, RMSEValid: m.RMSEValid, Pd: m.Pd, Pu: m.Pu}

@@ -136,6 +136,19 @@ func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler 
 	return s
 }
 
+// SchedulerFactory returns a runner.PolicyFactory producing a fully
+// isolated Sinan scheduler per managed run: the hybrid model is cloned so
+// concurrent runs never share the CNN's activation buffers, and the trust
+// counters, history windows, and misprediction tallies start fresh. This is
+// the constructor harness-driven code must use — handing one *Scheduler (or
+// one *HybridModel) to several runs would leak trust state between them and
+// race on model internals.
+func SchedulerFactory(app *apps.App, m *HybridModel, opts SchedulerOptions) runner.PolicyFactory {
+	return func() runner.Policy {
+		return NewScheduler(app, m.Clone(), opts)
+	}
+}
+
 // Name implements runner.Policy.
 func (s *Scheduler) Name() string { return "Sinan" }
 

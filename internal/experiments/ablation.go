@@ -38,24 +38,28 @@ func Ablation(l *Lab) []*Table {
 		},
 	}
 	subVal := val.FilterByP99(qos)
-	for _, cfg := range []struct {
+	lossCfgs := []struct {
 		name  string
 		qosMS float64 // 0 disables φ-scaling in nn.Train
 	}{
 		{"φ-scaled (Eq. 2)", qos},
 		{"plain MSE", 0},
-	} {
+	}
+	// The two loss configurations train independent models from the same
+	// initialisation, so they fan out on the lab pool.
+	lossTab.Rows = pmap(l, len(lossCfgs), func(i int) []string {
+		cfg := lossCfgs[i]
 		model := nn.NewLatencyCNN(rand.New(rand.NewSource(77)), ds.D, 32)
 		tm := nn.Train(model, train.Inputs(), train.Targets(), nn.TrainConfig{
 			Epochs: epochs, Batch: 256, LR: 0.01, QoSMS: cfg.qosMS, Seed: 77,
 		})
-		lossTab.Rows = append(lossTab.Rows, []string{
+		l.logf("ablation A1: %s done", cfg.name)
+		return []string{
 			cfg.name,
 			f1(tm.RMSE(subVal.Inputs(), subVal.Targets())),
 			f1(tm.RMSE(val.Inputs(), val.Targets())),
-		})
-		l.logf("ablation A1: %s done", cfg.name)
-	}
+		}
+	})
 
 	// --- A2/A3: violation-predictor feature sets ---
 	m, _ := l.SocialModel()
@@ -127,7 +131,7 @@ func Ablation(l *Lab) []*Table {
 		}
 		return float64(len(y)-pos) / float64(pos)
 	}
-	for _, variant := range []struct {
+	variants := []struct {
 		name  string
 		build func(*trainSplit, []float64) ([][]float64, []bool)
 	}{
@@ -140,7 +144,11 @@ func Ablation(l *Lab) []*Table {
 		{"latent Lf ⊕ RC ⊕ util (ours)", func(s *trainSplit, lat []float64) ([][]float64, []bool) {
 			return buildLatent(s, lat, width, true)
 		}},
-	} {
+	}
+	// Latents were computed once above; each BT variant trains its own
+	// forest, so the three variants fan out on the lab pool.
+	btTab.Rows = pmap(l, len(variants), func(i int) []string {
+		variant := variants[i]
 		trX, trY := variant.build(trSplit, trainLatent.Data)
 		vaX, vaY := variant.build(vaSplit, valLatent.Data)
 		start := time.Now()
@@ -149,15 +157,15 @@ func Ablation(l *Lab) []*Table {
 		}, vaX, vaY)
 		dur := time.Since(start).Seconds()
 		_, fnr := bt.Confusion(vaX, vaY)
-		btTab.Rows = append(btTab.Rows, []string{
+		l.logf("ablation A2/A3: %s done", variant.name)
+		return []string{
 			variant.name,
 			fmt.Sprintf("%d", len(trX[0])),
 			pct(1 - bt.ErrorRate(vaX, vaY)),
 			pct(fnr),
 			f1(dur),
-		})
-		l.logf("ablation A2/A3: %s done", variant.name)
-	}
+		}
+	})
 	// --- Fig. 7 companion: the scale function φ at different α ---
 	phiTab := &Table{
 		Title:  "Fig. 7 — scale function φ(x) with knee t=100 and varying α (Eq. 2)",

@@ -10,12 +10,15 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 
 	"sinan/internal/apps"
 	"sinan/internal/collect"
 	"sinan/internal/core"
 	"sinan/internal/dataset"
+	"sinan/internal/harness"
 )
 
 // Table is a rendered experiment result.
@@ -86,31 +89,80 @@ func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
-// Lab caches datasets and models shared across experiments.
+// Lab caches datasets and models shared across experiments. A Lab is safe
+// for concurrent use: each cached artifact is memoized behind its own
+// sync.Once, so two goroutines requesting the same dataset or model trigger
+// exactly one collection/training run and observe the same artifact, and
+// progress logging is serialised.
+//
+// The artifacts a Lab hands out are shared. Managed runs must therefore
+// never use them directly — harness-driven code builds per-run policies
+// with core.SchedulerFactory, which clones the model for every run.
 type Lab struct {
 	// Quick scales everything down (shorter collection, fewer epochs,
 	// fewer sweep points) for CI/benchmark runs.
 	Quick bool
 	// Log receives progress lines (nil silences them).
 	Log io.Writer
+	// Workers sizes the harness worker pools the experiment drivers use
+	// (<= 0 means GOMAXPROCS).
+	Workers int
 
-	hotelDS  *dataset.Dataset
-	socialDS *dataset.Dataset
-	hotelM   *core.HybridModel
-	socialM  *core.HybridModel
+	logMu sync.Mutex
+
+	// collectFn and trainFn are seams for tests; they default to
+	// collect.Run and core.TrainHybrid.
+	collectFn func(collect.Config) *dataset.Dataset
+	trainFn   func(*dataset.Dataset, float64, core.TrainOptions) (*core.HybridModel, core.TrainReport)
+
+	hotelDSOnce, socialDSOnce sync.Once
+	hotelMOnce, socialMOnce   sync.Once
+	hotelDS                   *dataset.Dataset
+	socialDS                  *dataset.Dataset
+	hotelM                    *core.HybridModel
+	socialM                   *core.HybridModel
 
 	hotelRep, socialRep core.TrainReport
 }
 
 // NewLab creates a lab; quick=true is the benchmark-friendly configuration.
 func NewLab(quick bool, log io.Writer) *Lab {
-	return &Lab{Quick: quick, Log: log}
+	return &Lab{
+		Quick:     quick,
+		Log:       log,
+		collectFn: collect.Run,
+		trainFn:   core.TrainHybrid,
+	}
 }
 
 func (l *Lab) logf(format string, args ...interface{}) {
 	if l.Log != nil {
+		l.logMu.Lock()
+		defer l.logMu.Unlock()
 		fmt.Fprintf(l.Log, format+"\n", args...)
 	}
+}
+
+// workers resolves the harness pool size for this lab.
+func (l *Lab) workers() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSuite executes a suite of managed runs on the lab's worker pool and
+// returns outcomes in spec order.
+func (l *Lab) runSuite(name string, baseSeed int64, specs []harness.RunSpec) []harness.Outcome {
+	return harness.Run(
+		harness.Suite{Name: name, BaseSeed: baseSeed, Specs: specs},
+		harness.Options{Workers: l.workers()},
+	)
+}
+
+// pmap fans fn out over [0, n) on the lab's worker pool, preserving order.
+func pmap[T any](l *Lab, n int, fn func(i int) T) []T {
+	return harness.Map(n, l.workers(), fn)
 }
 
 // scale returns quick or full depending on the lab mode.
@@ -143,7 +195,11 @@ func (l *Lab) epochs() int { return l.scaleInt(12, 16) }
 // CollectApp runs a bandit collection session for an app variant.
 func (l *Lab) CollectApp(app *apps.App, lo, hi float64, seconds float64, seed int64) *dataset.Dataset {
 	l.logf("collect: %s for %.0fs over [%.0f, %.0f] rps", app.Name, seconds, lo, hi)
-	return collect.Run(collect.Config{
+	collectFn := l.collectFn
+	if collectFn == nil {
+		collectFn = collect.Run
+	}
+	return collectFn(collect.Config{
 		App:      app,
 		Policy:   collect.NewBandit(app, seed),
 		Pattern:  collect.SweepPattern{MinRPS: lo, MaxRPS: hi, SegmentLen: 30, Seed: seed},
@@ -171,47 +227,57 @@ func (l *Lab) SocialLoads() []float64 {
 	return []float64{50, 100, 150, 200, 250, 300, 350, 400, 450}
 }
 
+func (l *Lab) train(ds *dataset.Dataset, qos float64, opts core.TrainOptions) (*core.HybridModel, core.TrainReport) {
+	trainFn := l.trainFn
+	if trainFn == nil {
+		trainFn = core.TrainHybrid
+	}
+	return trainFn(ds, qos, opts)
+}
+
 // HotelDataset returns (collecting once) the hotel training dataset.
+// Concurrent callers block until the single collection finishes and then
+// share the artifact.
 func (l *Lab) HotelDataset() *dataset.Dataset {
-	if l.hotelDS == nil {
+	l.hotelDSOnce.Do(func() {
 		l.hotelDS = l.CollectApp(apps.NewHotelReservation(), 500, 3700, l.collectSeconds("hotel"), 42)
 		l.logf("hotel dataset: %d samples, %.1f%% violations", l.hotelDS.Len(), 100*l.hotelDS.ViolationRate())
-	}
+	})
 	return l.hotelDS
 }
 
 // SocialDataset returns (collecting once) the social-network dataset.
 func (l *Lab) SocialDataset() *dataset.Dataset {
-	if l.socialDS == nil {
+	l.socialDSOnce.Do(func() {
 		l.socialDS = l.CollectApp(apps.NewSocialNetwork(), 50, 450, l.collectSeconds("social"), 43)
 		l.logf("social dataset: %d samples, %.1f%% violations", l.socialDS.Len(), 100*l.socialDS.ViolationRate())
-	}
+	})
 	return l.socialDS
 }
 
 // HotelModel returns (training once) the hotel hybrid model.
 func (l *Lab) HotelModel() (*core.HybridModel, core.TrainReport) {
-	if l.hotelM == nil {
+	l.hotelMOnce.Do(func() {
 		l.logf("train: hotel hybrid (%d epochs)", l.epochs())
-		l.hotelM, l.hotelRep = core.TrainHybrid(l.HotelDataset(), 200, core.TrainOptions{
+		l.hotelM, l.hotelRep = l.train(l.HotelDataset(), 200, core.TrainOptions{
 			Seed: 1, Epochs: l.epochs(),
 		})
 		l.logf("hotel model: valRMSE=%.1fms subQoS=%.1fms BTacc=%.3f",
 			l.hotelRep.ValRMSE, l.hotelRep.ValRMSESubQoS, l.hotelRep.ValAcc)
-	}
+	})
 	return l.hotelM, l.hotelRep
 }
 
 // SocialModel returns (training once) the social hybrid model.
 func (l *Lab) SocialModel() (*core.HybridModel, core.TrainReport) {
-	if l.socialM == nil {
+	l.socialMOnce.Do(func() {
 		l.logf("train: social hybrid (%d epochs)", l.epochs())
-		l.socialM, l.socialRep = core.TrainHybrid(l.SocialDataset(), 500, core.TrainOptions{
+		l.socialM, l.socialRep = l.train(l.SocialDataset(), 500, core.TrainOptions{
 			Seed: 2, Epochs: l.epochs(),
 		})
 		l.logf("social model: valRMSE=%.1fms subQoS=%.1fms BTacc=%.3f",
 			l.socialRep.ValRMSE, l.socialRep.ValRMSESubQoS, l.socialRep.ValAcc)
-	}
+	})
 	return l.socialM, l.socialRep
 }
 

@@ -8,6 +8,7 @@ import (
 	"sinan/internal/collect"
 	"sinan/internal/core"
 	"sinan/internal/dataset"
+	"sinan/internal/harness"
 	"sinan/internal/runner"
 	"sinan/internal/workload"
 )
@@ -19,6 +20,10 @@ import (
 // tail spikes); the random-trained model overestimates it (prohibits
 // reclamation, overprovisions). Bandit-collected data avoids both failure
 // modes.
+//
+// Structure: the two alternative collections fan out on the lab pool, the
+// two alternative models train in parallel, and the three deployments run
+// as one suite with per-run scheduler instances.
 func Fig10(l *Lab) []*Table {
 	app := apps.NewSocialNetwork()
 	dur := l.collectSeconds("social") * 0.8
@@ -31,8 +36,13 @@ func Fig10(l *Lab) []*Table {
 			Dims: collect.DefaultDims(app), K: 5,
 		})
 	}
-	autoDS := mk("autoscale", baselines.NewAutoScaleOpt(), 61)
-	randDS := mk("random", collect.NewRandom(app, 62), 62)
+	altDS := pmap(l, 2, func(i int) *dataset.Dataset {
+		if i == 0 {
+			return mk("autoscale", baselines.NewAutoScaleOpt(), 61)
+		}
+		return mk("random", collect.NewRandom(app, 62), 62)
+	})
+	autoDS, randDS := altDS[0], altDS[1]
 
 	t := &Table{
 		Title: "Fig. 10 — deployment behaviour of models trained on different collection schemes (Social Network, 300 users)",
@@ -44,40 +54,40 @@ func Fig10(l *Lab) []*Table {
 		},
 	}
 
-	deploy := func(name string, ds *dataset.Dataset) {
-		m, _ := core.TrainHybrid(ds, app.QoSMS, core.TrainOptions{Seed: 6, Epochs: l.epochs()})
-		sched := core.NewScheduler(app, m, core.SchedulerOptions{})
-		res := runner.Run(runner.Config{
-			App: app, Policy: sched, Pattern: workload.Constant(300),
-			Duration: l.scale(200, 400), Seed: 63, Warmup: 20, KeepTrace: true,
-		})
-		var bias float64
-		n := 0
-		for _, row := range res.Trace {
-			if row.PredP99MS != 0 {
-				bias += row.PredP99MS - row.P99MS
-				n++
-			}
+	// Train the two alternative models in parallel; the bandit reference is
+	// the lab's cached social model.
+	altModels := pmap(l, 2, func(i int) *core.HybridModel {
+		ds := autoDS
+		if i == 1 {
+			ds = randDS
 		}
-		if n > 0 {
-			bias /= float64(n)
-		}
-		t.Rows = append(t.Rows, []string{
-			name, pct(ds.ViolationRate()), f1(bias), pct(res.Meter.MeetProb()),
-			f1(res.Meter.MeanAlloc()), fmt.Sprintf("%d", sched.Mispredictions),
-		})
-		l.logf("fig10: %s deployed (bias %.1f, meet %.3f)", name, bias, res.Meter.MeetProb())
+		m, _ := l.train(ds, app.QoSMS, core.TrainOptions{Seed: 6, Epochs: l.epochs()})
+		return m
+	})
+	banditM, _ := l.SocialModel()
+
+	variants := []struct {
+		name  string
+		ds    *dataset.Dataset
+		model *core.HybridModel
+	}{
+		{"autoscale", autoDS, altModels[0]},
+		{"random", randDS, altModels[1]},
+		{"bandit (Sinan)", l.SocialDataset(), banditM},
 	}
-	deploy("autoscale", autoDS)
-	deploy("random", randDS)
-	// Reference: the bandit-collected model.
-	{
-		m, _ := l.SocialModel()
-		sched := core.NewScheduler(app, m, core.SchedulerOptions{})
-		res := runner.Run(runner.Config{
-			App: app, Policy: sched, Pattern: workload.Constant(300),
+	var specs []harness.RunSpec
+	for _, v := range variants {
+		specs = append(specs, harness.RunSpec{
+			Name: v.name, App: app,
+			Policy:  core.SchedulerFactory(app, v.model, core.SchedulerOptions{}),
+			Pattern: workload.Constant(300),
+			// Identical run configuration for all three deployments, as in
+			// the paper: only the training data differs.
 			Duration: l.scale(200, 400), Seed: 63, Warmup: 20, KeepTrace: true,
 		})
+	}
+	for i, run := range l.runSuite("fig10", 63, specs) {
+		res := run.Result
 		var bias float64
 		n := 0
 		for _, row := range res.Trace {
@@ -89,11 +99,13 @@ func Fig10(l *Lab) []*Table {
 		if n > 0 {
 			bias /= float64(n)
 		}
+		sched := run.Policy.(*core.Scheduler)
 		t.Rows = append(t.Rows, []string{
-			"bandit (Sinan)", pct(l.SocialDataset().ViolationRate()), f1(bias),
+			variants[i].name, pct(variants[i].ds.ViolationRate()), f1(bias),
 			pct(res.Meter.MeetProb()), f1(res.Meter.MeanAlloc()),
 			fmt.Sprintf("%d", sched.Mispredictions),
 		})
+		l.logf("fig10: %s deployed (bias %.1f, meet %.3f)", variants[i].name, bias, res.Meter.MeetProb())
 	}
 	return []*Table{t}
 }

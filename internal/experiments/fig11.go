@@ -6,6 +6,7 @@ import (
 	"sinan/internal/apps"
 	"sinan/internal/baselines"
 	"sinan/internal/core"
+	"sinan/internal/harness"
 	"sinan/internal/runner"
 	"sinan/internal/workload"
 )
@@ -16,6 +17,10 @@ import (
 // PowerChief. The expected shape: only Sinan and AutoScaleCons meet QoS at
 // every load; Sinan uses substantially less CPU than AutoScaleCons;
 // AutoScaleOpt and PowerChief degrade at high load.
+//
+// The whole grid — every (app, load, policy) combination — is one harness
+// suite, executed in parallel with per-run policy instances and aggregated
+// in spec order, so rows land exactly where the serial version put them.
 func Fig11(l *Lab) []*Table {
 	hotelM, _ := l.HotelModel()
 	socialM, _ := l.SocialModel()
@@ -36,26 +41,32 @@ func Fig11(l *Lab) []*Table {
 		}
 		dur := l.scale(180, 300)
 		warm := l.scale(60, 120)
+		var specs []harness.RunSpec
+		var loads []float64
 		for _, load := range env.loads {
-			for _, mk := range []func() runner.Policy{
-				func() runner.Policy { return core.NewScheduler(env.app, env.model, core.SchedulerOptions{}) },
+			for _, mk := range []runner.PolicyFactory{
+				core.SchedulerFactory(env.app, env.model, core.SchedulerOptions{}),
 				func() runner.Policy { return baselines.NewAutoScaleOpt() },
 				func() runner.Policy { return baselines.NewAutoScaleCons() },
 				func() runner.Policy { return baselines.NewPowerChief() },
 			} {
-				pol := mk()
-				res := runner.Run(runner.Config{
-					App: env.app, Policy: pol, Pattern: workload.Constant(load),
+				specs = append(specs, harness.RunSpec{
+					Name: fmt.Sprintf("%s-%.0f", env.name, load),
+					App:  env.app, Policy: mk, Pattern: workload.Constant(load),
 					Duration: dur, Seed: int64(1000 + load), Warmup: warm,
 				})
-				t.Rows = append(t.Rows, []string{
-					f0(load), pol.Name(),
-					f1(res.Meter.MeanAlloc()), f1(res.Meter.MaxAlloc()),
-					f3(res.Meter.MeetProb()),
-				})
-				l.logf("fig11 %s: load=%.0f %s meet=%.3f mean=%.1f",
-					env.name, load, pol.Name(), res.Meter.MeetProb(), res.Meter.MeanAlloc())
+				loads = append(loads, load)
 			}
+		}
+		for i, run := range l.runSuite("fig11-"+env.name, 1000, specs) {
+			res := run.Result
+			t.Rows = append(t.Rows, []string{
+				f0(loads[i]), run.Policy.Name(),
+				f1(res.Meter.MeanAlloc()), f1(res.Meter.MaxAlloc()),
+				f3(res.Meter.MeetProb()),
+			})
+			l.logf("fig11 %s: load=%.0f %s meet=%.3f mean=%.1f",
+				env.name, loads[i], run.Policy.Name(), res.Meter.MeetProb(), res.Meter.MeanAlloc())
 		}
 		// Summary note: average CPU saving of Sinan vs AutoScaleCons over
 		// loads where both meet QoS.

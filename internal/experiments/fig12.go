@@ -6,6 +6,7 @@ import (
 
 	"sinan/internal/apps"
 	"sinan/internal/core"
+	"sinan/internal/harness"
 	"sinan/internal/runner"
 	"sinan/internal/workload"
 )
@@ -15,17 +16,21 @@ import (
 // (bottom row). For each decision interval the trace records RPS, measured
 // vs. predicted tail latency, the violation probability, and the aggregate
 // and busiest per-tier allocations — showing the prediction tracking the
-// ground truth and resources following the load.
+// ground truth and resources following the load. The two timelines run as
+// one two-spec suite, in parallel when the pool allows.
 func Fig12(l *Lab) []*Table {
 	app := apps.NewSocialNetwork()
 	m, _ := l.SocialModel()
 
-	mkTable := func(title string, pattern workload.Pattern, duration float64, seed int64) *Table {
-		sched := core.NewScheduler(app, m, core.SchedulerOptions{})
-		res := runner.Run(runner.Config{
-			App: app, Policy: sched, Pattern: pattern,
-			Duration: duration, Seed: seed, Warmup: 15, KeepTrace: true,
-		})
+	mkSpec := func(name string, pattern workload.Pattern, duration float64, seed int64) harness.RunSpec {
+		return harness.RunSpec{
+			Name: name, App: app,
+			Policy:  core.SchedulerFactory(app, m, core.SchedulerOptions{}),
+			Pattern: pattern, Duration: duration, Seed: seed,
+			Warmup: 15, KeepTrace: true,
+		}
+	}
+	mkTable := func(title string, res *runner.Result) *Table {
 		t := &Table{
 			Title: title,
 			Header: []string{"t(s)", "RPS", "p99 (ms)", "pred p99 (ms)", "P(viol)",
@@ -60,13 +65,18 @@ func Fig12(l *Lab) []*Table {
 		return t
 	}
 
+	outs := l.runSuite("fig12", 71, []harness.RunSpec{
+		mkSpec("constant", workload.Constant(250), l.scale(240, 400), 71),
+		mkSpec("diurnal",
+			workload.Diurnal{Min: 60, Max: 300, Period: l.scale(600, 2000)},
+			l.scale(600, 2000), 72),
+	})
 	constant := mkTable(
 		"Fig. 12 (top) — Social Network, Sinan, constant 250 users",
-		workload.Constant(250), l.scale(240, 400), 71)
+		outs[0].Result)
 	diurnal := mkTable(
 		"Fig. 12 (bottom) — Social Network, Sinan, diurnal load 60→300→60 users",
-		workload.Diurnal{Min: 60, Max: 300, Period: l.scale(600, 2000)},
-		l.scale(600, 2000), 72)
+		outs[1].Result)
 	return []*Table{constant, diurnal}
 }
 

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"bytes"
 	"fmt"
 
 	"sinan/internal/apps"
@@ -34,8 +33,10 @@ func Fig13(l *Lab) []*Table {
 		sampleCounts = []int{0, 400, 1200}
 	}
 
-	var tables []*Table
-	for _, sc := range scenarios {
+	// Each scenario is independent (own collection pool, own fine-tuning
+	// sweep from a cloned base model), so scenarios fan out on the lab pool.
+	tables := pmap(l, len(scenarios), func(si int) *Table {
+		sc := scenarios[si]
 		// Collect a pool of new-environment samples once; fine-tuning sweeps
 		// prefixes of it. A fixed validation slice measures adaptation.
 		need := sampleCounts[len(sampleCounts)-1]
@@ -55,9 +56,9 @@ func Fig13(l *Lab) []*Table {
 			},
 		}
 		for _, n := range sampleCounts {
-			// Fresh copy of the base model for each budget: clone via
-			// serialization round trip.
-			tm := cloneTrained(baseModel.Lat)
+			// Fresh copy of the base model for each budget, so every sweep
+			// point starts from identical base weights.
+			tm := baseModel.Lat.Clone()
 			if n > 0 {
 				if n > newTrain.Len() {
 					n = newTrain.Len()
@@ -79,21 +80,7 @@ func Fig13(l *Lab) []*Table {
 			})
 			l.logf("fig13 %s: n=%d valRMSE=%.1f", sc.name, n, valRMSE)
 		}
-		tables = append(tables, t)
-	}
+		return t
+	})
 	return tables
-}
-
-// cloneTrained deep-copies a trained model through its serialized form, so
-// each fine-tuning budget starts from identical base weights.
-func cloneTrained(tm *nn.TrainedModel) *nn.TrainedModel {
-	var buf bytes.Buffer
-	if err := nn.Save(&buf, tm); err != nil {
-		panic(err)
-	}
-	out, err := nn.Load(&buf)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }

@@ -5,9 +5,9 @@ import (
 
 	"sinan/internal/apps"
 	"sinan/internal/core"
+	"sinan/internal/harness"
 	"sinan/internal/metrics"
 	"sinan/internal/nn"
-	"sinan/internal/runner"
 	"sinan/internal/workload"
 )
 
@@ -25,7 +25,7 @@ func Fig14(l *Lab) []*Table {
 	// Transfer learning: fine-tune the local model with GCE samples.
 	l.logf("fig14: collecting GCE fine-tuning data")
 	gceDS := l.CollectApp(gceApp, 50, 450, l.scale(800, 2000), 91)
-	tuned := cloneTrained(base.Lat)
+	tuned := base.Lat.Clone()
 	tuned.FineTune(gceDS.Inputs(), gceDS.Targets(), nn.TrainConfig{
 		Epochs: l.scaleInt(8, 15), Batch: 128, LR: 0.0001, QoSMS: 500, Seed: 91,
 	})
@@ -47,30 +47,45 @@ func Fig14(l *Lab) []*Table {
 		Notes:  []string{"QoS 500ms: every mix must meet it (paper: Sinan always meets QoS on GCE)"},
 	}
 
+	// One suite covers the whole (mix, load) grid; each run's scheduler
+	// clones the fine-tuned model, so the grid parallelises cleanly.
+	type cell struct {
+		mix  string
+		load float64
+	}
+	var specs []harness.RunSpec
+	var cells []cell
+	for _, mx := range apps.Mixes {
+		app := gceApp.WithMix(mx.Mix)
+		for _, load := range loads {
+			specs = append(specs, harness.RunSpec{
+				Name: fmt.Sprintf("%s-%.0f", mx.Name, load),
+				App:  app, Policy: core.SchedulerFactory(app, gceModel, core.SchedulerOptions{}),
+				Pattern:  workload.Constant(load),
+				Duration: l.scale(150, 240), Seed: int64(9000 + load), Warmup: 50, KeepTrace: true,
+			})
+			cells = append(cells, cell{mx.Name, load})
+		}
+	}
+
 	perMixP99s := map[string][]float64{}
 	perMixMeet := map[string][]float64{}
 	rows := map[float64][]string{}
 	for _, load := range loads {
 		rows[load] = []string{f0(load)}
 	}
-	for _, mx := range apps.Mixes {
-		app := gceApp.WithMix(mx.Mix)
-		for _, load := range loads {
-			sched := core.NewScheduler(app, gceModel, core.SchedulerOptions{})
-			res := runner.Run(runner.Config{
-				App: app, Policy: sched, Pattern: workload.Constant(load),
-				Duration: l.scale(150, 240), Seed: int64(9000 + load), Warmup: 50, KeepTrace: true,
-			})
-			rows[load] = append(rows[load], f1(res.Meter.MeanAlloc()))
-			for _, r := range res.Trace {
-				if r.Time > 50 {
-					perMixP99s[mx.Name] = append(perMixP99s[mx.Name], r.P99MS)
-				}
+	for i, run := range l.runSuite("fig14", 9000, specs) {
+		res := run.Result
+		c := cells[i]
+		rows[c.load] = append(rows[c.load], f1(res.Meter.MeanAlloc()))
+		for _, r := range res.Trace {
+			if r.Time > 50 {
+				perMixP99s[c.mix] = append(perMixP99s[c.mix], r.P99MS)
 			}
-			perMixMeet[mx.Name] = append(perMixMeet[mx.Name], res.Meter.MeetProb())
-			l.logf("fig14 %s load=%.0f mean=%.1f meet=%.3f",
-				mx.Name, load, res.Meter.MeanAlloc(), res.Meter.MeetProb())
 		}
+		perMixMeet[c.mix] = append(perMixMeet[c.mix], res.Meter.MeetProb())
+		l.logf("fig14 %s load=%.0f mean=%.1f meet=%.3f",
+			c.mix, c.load, res.Meter.MeanAlloc(), res.Meter.MeetProb())
 	}
 	for _, load := range loads {
 		cpu.Rows = append(cpu.Rows, rows[load])

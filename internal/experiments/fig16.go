@@ -8,6 +8,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/dataset"
 	"sinan/internal/explain"
+	"sinan/internal/harness"
 	"sinan/internal/nn"
 	"sinan/internal/runner"
 	"sinan/internal/tensor"
@@ -20,7 +21,7 @@ import (
 // every minute the tier forks and copies its written memory to disk,
 // pausing request serving. Disabling the sync eliminates the spikes.
 func Fig16(l *Lab) []*Table {
-	run := func(sync bool, seed int64) (spikes int, maxP99 float64, trace []runner.TraceRow) {
+	mkSpec := func(name string, sync bool) harness.RunSpec {
 		var opts []apps.Option
 		if sync {
 			opts = append(opts, apps.WithLogSync())
@@ -32,23 +33,32 @@ func Fig16(l *Lab) []*Table {
 		for i := range alloc {
 			alloc[i] = app.Tiers[i].MaxCPU * 0.5
 		}
-		res := runner.Run(runner.Config{
-			App: app, Policy: &runner.Static{Label: "static"}, Pattern: workload.Constant(120),
-			Duration: l.scale(300, 600), Seed: seed, InitAlloc: alloc, KeepTrace: true,
-		})
+		return harness.RunSpec{
+			Name: name, App: app,
+			Policy:   func() runner.Policy { return &runner.Static{Label: "static"} },
+			Pattern:  workload.Constant(120),
+			Duration: l.scale(300, 600), Seed: 51, InitAlloc: alloc, KeepTrace: true,
+		}
+	}
+	count := func(res *runner.Result, qos float64) (spikes int, maxP99 float64) {
 		for _, row := range res.Trace {
-			if row.P99MS > app.QoSMS {
+			if row.P99MS > qos {
 				spikes++
 			}
 			if row.P99MS > maxP99 {
 				maxP99 = row.P99MS
 			}
 		}
-		return spikes, maxP99, res.Trace
+		return spikes, maxP99
 	}
 
-	withSpikes, withMax, traceOn := run(true, 51)
-	without, withoutMax, _ := run(false, 51)
+	outs := l.runSuite("fig16", 51, []harness.RunSpec{
+		mkSpec("log sync enabled", true),
+		mkSpec("log sync disabled", false),
+	})
+	withSpikes, withMax := count(outs[0].Result, outs[0].Spec.App.QoSMS)
+	without, withoutMax := count(outs[1].Result, outs[1].Spec.App.QoSMS)
+	traceOn := outs[0].Result.Trace
 
 	t := &Table{
 		Title:  "Fig. 16 — Social Network tail latency with/without Redis log sync (120 users, static alloc)",
@@ -83,7 +93,7 @@ func Fig16(l *Lab) []*Table {
 func Table4(l *Lab) []*Table {
 	channelNames := []string{"cpu usage", "cpu limit", "rss", "cache", "net rx", "net tx"}
 
-	analyse := func(sync bool, seed int64) ([]explain.Importance, []explain.Importance, *apps.App) {
+	analyse := func(sync bool, seed int64) ([]explain.Importance, []explain.Importance) {
 		var opts []apps.Option
 		if sync {
 			opts = append(opts, apps.WithLogSync())
@@ -103,9 +113,9 @@ func Table4(l *Lab) []*Table {
 		for i := range generous {
 			generous[i] = app.Tiers[i].MaxCPU * 0.5
 		}
-		runner.Run(runner.Config{
-			App:       app,
-			Policy:    &runner.Static{Label: "stable"},
+		harness.One(harness.RunSpec{
+			Name: "stable", App: app,
+			Policy:    func() runner.Policy { return &runner.Static{Label: "stable"} },
 			Pattern:   workload.Constant(120),
 			Duration:  l.scale(1500, 3000),
 			Seed:      seed + 1,
@@ -143,11 +153,22 @@ func Table4(l *Lab) []*Table {
 			}
 		}
 		res := explain.ResourceImportance(model, samples, ds.D, redisIdx, channelNames)
-		return tiers, res, app
+		return tiers, res
 	}
 
-	tiersOn, resOn, _ := analyse(true, 55)
-	tiersOff, resOff, _ := analyse(false, 56)
+	// The two configurations are fully independent pipelines (collection,
+	// training, LIME), so they fan out on the lab pool.
+	type t4out struct{ tiers, res []explain.Importance }
+	outs := pmap(l, 2, func(i int) t4out {
+		if i == 0 {
+			tiers, res := analyse(true, 55)
+			return t4out{tiers, res}
+		}
+		tiers, res := analyse(false, 56)
+		return t4out{tiers, res}
+	})
+	tiersOn, resOn := outs[0].tiers, outs[0].res
+	tiersOff, resOff := outs[1].tiers, outs[1].res
 
 	top5 := func(imp []explain.Importance) [][]string {
 		var rows [][]string

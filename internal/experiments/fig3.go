@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sinan/internal/apps"
+	"sinan/internal/harness"
 	"sinan/internal/runner"
 	"sinan/internal/workload"
 )
@@ -28,49 +29,64 @@ func Fig3(l *Lab) []*Table {
 	}
 	pattern := workload.Steps{{Until: stepAt, RPS: lowLoad}, {Until: duration, RPS: highLoad}}
 
+	// Once triggered, both managers ramp allocations up 30% per decision
+	// interval (the AWS step-scaling rate); they differ only in WHEN the
+	// ramp starts — at the load step (proactive) or at the first observed
+	// QoS violation (reactive). The reactive manager's detection delay
+	// lets queues build, and the backlog keeps latency past QoS long
+	// after resources are added. The ramp state lives inside the policy
+	// factory, so every run gets a fresh trigger.
+	mkPolicy := func(name string, eager bool) runner.PolicyFactory {
+		return func() runner.Policy {
+			upscaled := false
+			return runner.PolicyFunc(name, func(st runner.State) runner.Decision {
+				if eager {
+					// Proactive: begin ramping ahead of the anticipated step, so
+					// capacity is in place when the load arrives (blue line).
+					if st.Time >= stepAt-8 {
+						upscaled = true
+					}
+				} else if st.Perc.P99() > app.QoSMS {
+					upscaled = true
+				}
+				if upscaled {
+					next := make([]float64, len(st.Alloc))
+					for i := range next {
+						next[i] = st.Alloc[i] * 1.3
+						if next[i] > app.Tiers[i].MaxCPU {
+							next[i] = app.Tiers[i].MaxCPU
+						}
+					}
+					return runner.Decision{Alloc: next}
+				}
+				return runner.Decision{Alloc: st.Alloc}
+			})
+		}
+	}
+
+	var specs []harness.RunSpec
+	for _, v := range []struct {
+		name  string
+		eager bool
+	}{{"eager-upscale", true}, {"late-upscale", false}} {
+		specs = append(specs, harness.RunSpec{
+			Name: v.name, App: app, Policy: mkPolicy(v.name, v.eager),
+			Pattern: pattern, Duration: duration, Seed: 11,
+			InitAlloc: lean, KeepTrace: true,
+		})
+	}
+
 	type outcome struct {
 		name      string
 		trace     []runner.TraceRow
 		violSecs  int
 		recoverAt float64
 	}
-	run := func(name string, eager bool) outcome {
-		// Once triggered, both managers ramp allocations up 30% per decision
-		// interval (the AWS step-scaling rate); they differ only in WHEN the
-		// ramp starts — at the load step (proactive) or at the first observed
-		// QoS violation (reactive). The reactive manager's detection delay
-		// lets queues build, and the backlog keeps latency past QoS long
-		// after resources are added.
-		upscaled := false
-		pol := runner.PolicyFunc(name, func(st runner.State) runner.Decision {
-			if eager {
-				// Proactive: begin ramping ahead of the anticipated step, so
-				// capacity is in place when the load arrives (blue line).
-				if st.Time >= stepAt-8 {
-					upscaled = true
-				}
-			} else if st.Perc.P99() > app.QoSMS {
-				upscaled = true
-			}
-			if upscaled {
-				next := make([]float64, len(st.Alloc))
-				for i := range next {
-					next[i] = st.Alloc[i] * 1.3
-					if next[i] > app.Tiers[i].MaxCPU {
-						next[i] = app.Tiers[i].MaxCPU
-					}
-				}
-				return runner.Decision{Alloc: next}
-			}
-			return runner.Decision{Alloc: st.Alloc}
-		})
-		res := runner.Run(runner.Config{
-			App: app, Policy: pol, Pattern: pattern,
-			Duration: duration, Seed: 11, InitAlloc: lean, KeepTrace: true,
-		})
-		o := outcome{name: name, trace: res.Trace}
+	var outs []outcome
+	for _, run := range l.runSuite("fig3", 11, specs) {
+		o := outcome{name: run.Spec.Name, trace: run.Result.Trace}
 		lastViol := 0.0
-		for _, row := range res.Trace {
+		for _, row := range run.Result.Trace {
 			if row.Time <= stepAt {
 				continue
 			}
@@ -80,11 +96,9 @@ func Fig3(l *Lab) []*Table {
 			}
 		}
 		o.recoverAt = lastViol
-		return o
+		outs = append(outs, o)
 	}
-
-	eager := run("eager-upscale", true)
-	late := run("late-upscale", false)
+	eager, late := outs[0], outs[1]
 
 	t := &Table{
 		Title:  "Fig. 3 — delayed queueing effect (Hotel, step 1200→3400 RPS at t=60s)",

@@ -50,19 +50,27 @@ func Fig9(l *Lab) []*Table {
 		cutoffs = []float64{500, 700, 1250}
 	}
 	epochs := l.scaleInt(8, 12)
-	for _, cut := range cutoffs {
+	// Each cutoff trains an independent model, so the sweep fans out on the
+	// lab pool; rows come back in cutoff order (nil marks a skipped cutoff).
+	rows := pmap(l, len(cutoffs), func(i int) []string {
+		cut := cutoffs[i]
 		sub := ds.FilterByP99(cut)
 		if sub.Len() < 100 {
-			continue
+			return nil
 		}
 		m, rep := core.TrainHybrid(sub, qos, core.TrainOptions{Seed: 5, Epochs: epochs})
 		valRMSE := m.Lat.RMSE(fullVal.Inputs(), fullVal.Targets())
 		// BT error on the full validation set.
 		btErr := hybridBTError(m, fullVal)
-		sweep.Rows = append(sweep.Rows, []string{
-			f0(cut), fmt.Sprintf("%d", sub.Len()), f1(rep.TrainRMSE), f1(valRMSE), f3(btErr),
-		})
 		l.logf("fig9: cutoff %.0f done (val RMSE %.1f)", cut, valRMSE)
+		return []string{
+			f0(cut), fmt.Sprintf("%d", sub.Len()), f1(rep.TrainRMSE), f1(valRMSE), f3(btErr),
+		}
+	})
+	for _, row := range rows {
+		if row != nil {
+			sweep.Rows = append(sweep.Rows, row)
+		}
 	}
 	return []*Table{cdf, sweep}
 }

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sinan/internal/collect"
+	"sinan/internal/core"
+	"sinan/internal/dataset"
+	"sinan/internal/nn"
+)
+
+// fakeLab returns a quick lab whose collection and training are stubbed
+// with cheap counted fakes, so concurrency behaviour can be tested without
+// simulating or training anything.
+func fakeLab(collects, trains *atomic.Int32) *Lab {
+	l := NewLab(true, nil)
+	l.collectFn = func(cfg collect.Config) *dataset.Dataset {
+		collects.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the race window
+		return dataset.New(nn.Dims{N: 2, T: 2, F: 2, M: 1}, cfg.K)
+	}
+	l.trainFn = func(ds *dataset.Dataset, qos float64, opts core.TrainOptions) (*core.HybridModel, core.TrainReport) {
+		trains.Add(1)
+		time.Sleep(10 * time.Millisecond)
+		return &core.HybridModel{QoSMS: qos, K: ds.K}, core.TrainReport{ValRMSE: 1}
+	}
+	return l
+}
+
+// TestLabConcurrentMemoization: N goroutines requesting the same cached
+// dataset and model trigger exactly one collection and one training run and
+// all observe the same artifact.
+func TestLabConcurrentMemoization(t *testing.T) {
+	var collects, trains atomic.Int32
+	l := fakeLab(&collects, &trains)
+
+	const goroutines = 8
+	dss := make([]*dataset.Dataset, goroutines)
+	models := make([]*core.HybridModel, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dss[g] = l.SocialDataset()
+			models[g], _ = l.SocialModel()
+		}(g)
+	}
+	wg.Wait()
+
+	if n := collects.Load(); n != 1 {
+		t.Fatalf("social dataset collected %d times, want 1", n)
+	}
+	if n := trains.Load(); n != 1 {
+		t.Fatalf("social model trained %d times, want 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if dss[g] != dss[0] {
+			t.Fatal("goroutines observed different dataset artifacts")
+		}
+		if models[g] != models[0] {
+			t.Fatal("goroutines observed different model artifacts")
+		}
+	}
+}
+
+// TestLabConcurrentDistinctArtifacts: hotel and social artifacts memoize
+// independently — concurrent mixed requests yield one run per artifact.
+func TestLabConcurrentDistinctArtifacts(t *testing.T) {
+	var collects, trains atomic.Int32
+	l := fakeLab(&collects, &trains)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				l.HotelModel()
+			} else {
+				l.SocialModel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := collects.Load(); n != 2 {
+		t.Fatalf("collections = %d, want 2 (hotel + social)", n)
+	}
+	if n := trains.Load(); n != 2 {
+		t.Fatalf("trainings = %d, want 2 (hotel + social)", n)
+	}
+}
+
+// TestLabConcurrentLogging: interleaved logf calls from many goroutines
+// keep lines whole (the data race itself is caught by -race).
+func TestLabConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLab(true, &buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.logf("goroutine %d line %d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if lines != 8*50 {
+		t.Fatalf("logged %d lines, want %d", lines, 8*50)
+	}
+}

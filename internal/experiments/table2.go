@@ -23,7 +23,17 @@ func Table2(l *Lab) []*Table {
 			"paper (Table 2): CNN lowest RMSE with smallest model on both apps",
 		},
 	}
-	for _, env := range []struct {
+	// Resolve the cached datasets and splits up front, then fan the six
+	// (app, architecture) training tasks out on the lab pool. Rows come back
+	// in the serial order: app outer, architecture inner.
+	type t2env struct {
+		name       string
+		qos        float64
+		dims       nn.Dims
+		train, val *dataset.Dataset
+	}
+	var envs []t2env
+	for _, e := range []struct {
 		name string
 		ds   *dataset.Dataset
 		qos  float64
@@ -31,59 +41,64 @@ func Table2(l *Lab) []*Table {
 		{"hotel", l.HotelDataset(), 200},
 		{"social", l.SocialDataset(), 500},
 	} {
-		train, val := env.ds.Split(0.9, 21)
-		for _, spec := range []struct {
-			name  string
-			build func(seed int64) nn.Regressor
-		}{
-			{"MLP", func(seed int64) nn.Regressor { return nn.NewMLP(rand.New(rand.NewSource(seed)), env.ds.D) }},
-			{"LSTM", func(seed int64) nn.Regressor { return nn.NewLSTMModel(rand.New(rand.NewSource(seed)), env.ds.D) }},
-			{"CNN", func(seed int64) nn.Regressor { return nn.NewLatencyCNN(rand.New(rand.NewSource(seed)), env.ds.D, 32) }},
-		} {
-			// The paper tunes each architecture until validation accuracy
-			// levels off; we approximate by training each from two seeds and
-			// keeping the better initialisation (identical budget per model).
-			var model nn.Regressor
-			var tm *nn.TrainedModel
-			bestVal := 0.0
-			var trainDur time.Duration
-			trIn, trY := train.Inputs(), train.Targets()
-			for _, seed := range []int64{31, 32} {
-				cand := spec.build(seed)
-				start := time.Now()
-				ctm := nn.Train(cand, trIn, trY, nn.TrainConfig{
-					Epochs: l.epochs(), Batch: 256, LR: 0.01, QoSMS: env.qos, Seed: 77 + seed,
-				})
-				dur := time.Since(start)
-				v := ctm.RMSE(val.Inputs(), val.Targets())
-				if model == nil || v < bestVal {
-					model, tm, bestVal, trainDur = cand, ctm, v, dur
-				}
-			}
-			batches := l.epochs() * ((train.Len() + 255) / 256)
-			trainMSPerBatch := float64(trainDur.Milliseconds()) / float64(batches)
-
-			// Inference speed over one 256-sample batch.
-			probe := train.Select(firstN(min(256, train.Len())))
-			pin := probe.Inputs()
-			const reps = 5
-			inferStart := time.Now()
-			for r := 0; r < reps; r++ {
-				tm.Predict(pin)
-			}
-			inferMS := float64(time.Since(inferStart).Milliseconds()) / reps
-
-			out.Rows = append(out.Rows, []string{
-				env.name, spec.name,
-				f1(tm.RMSE(trIn, trY)),
-				f1(tm.RMSE(val.Inputs(), val.Targets())),
-				f0(nn.ModelSizeKB(model.Params())),
-				f1(trainMSPerBatch),
-				f1(inferMS),
-			})
-			l.logf("table2: %s/%s done", env.name, spec.name)
-		}
+		train, val := e.ds.Split(0.9, 21)
+		envs = append(envs, t2env{e.name, e.qos, e.ds.D, train, val})
 	}
+	archs := []struct {
+		name  string
+		build func(d nn.Dims, seed int64) nn.Regressor
+	}{
+		{"MLP", func(d nn.Dims, seed int64) nn.Regressor { return nn.NewMLP(rand.New(rand.NewSource(seed)), d) }},
+		{"LSTM", func(d nn.Dims, seed int64) nn.Regressor { return nn.NewLSTMModel(rand.New(rand.NewSource(seed)), d) }},
+		{"CNN", func(d nn.Dims, seed int64) nn.Regressor { return nn.NewLatencyCNN(rand.New(rand.NewSource(seed)), d, 32) }},
+	}
+	out.Rows = pmap(l, len(envs)*len(archs), func(task int) []string {
+		env := envs[task/len(archs)]
+		arch := archs[task%len(archs)]
+		// The paper tunes each architecture until validation accuracy
+		// levels off; we approximate by training each from two seeds and
+		// keeping the better initialisation (identical budget per model).
+		var model nn.Regressor
+		var tm *nn.TrainedModel
+		bestVal := 0.0
+		var trainDur time.Duration
+		trIn, trY := env.train.Inputs(), env.train.Targets()
+		for _, seed := range []int64{31, 32} {
+			cand := arch.build(env.dims, seed)
+			start := time.Now()
+			ctm := nn.Train(cand, trIn, trY, nn.TrainConfig{
+				Epochs: l.epochs(), Batch: 256, LR: 0.01, QoSMS: env.qos, Seed: 77 + seed,
+			})
+			dur := time.Since(start)
+			v := ctm.RMSE(env.val.Inputs(), env.val.Targets())
+			if model == nil || v < bestVal {
+				model, tm, bestVal, trainDur = cand, ctm, v, dur
+			}
+		}
+		batches := l.epochs() * ((env.train.Len() + 255) / 256)
+		trainMSPerBatch := float64(trainDur.Milliseconds()) / float64(batches)
+
+		// Inference speed over one 256-sample batch. Wall-clock columns are
+		// indicative: under a loaded pool they include contention.
+		probe := env.train.Select(firstN(min(256, env.train.Len())))
+		pin := probe.Inputs()
+		const reps = 5
+		inferStart := time.Now()
+		for r := 0; r < reps; r++ {
+			tm.Predict(pin)
+		}
+		inferMS := float64(time.Since(inferStart).Milliseconds()) / reps
+
+		l.logf("table2: %s/%s done", env.name, arch.name)
+		return []string{
+			env.name, arch.name,
+			f1(tm.RMSE(trIn, trY)),
+			f1(tm.RMSE(env.val.Inputs(), env.val.Targets())),
+			f0(nn.ModelSizeKB(model.Params())),
+			f1(trainMSPerBatch),
+			f1(inferMS),
+		}
+	})
 	return []*Table{out}
 }
 

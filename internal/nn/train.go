@@ -1,10 +1,12 @@
 package nn
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 
 	"sinan/internal/tensor"
 )
@@ -126,9 +128,33 @@ const yScale = 0.01
 
 // TrainedModel couples a regressor with its input normaliser and target
 // scaling, exposing millisecond-space prediction.
+//
+// A TrainedModel is safe for concurrent Predict/PredictWithLatent/RMSE
+// calls: the underlying layers cache activations during Forward, so the
+// model serialises its own inference internally. Concurrent callers on one
+// shared instance therefore do not race — but they also do not run in
+// parallel. Code that wants parallel inference (one managed run per core)
+// should give each goroutine its own instance via Clone.
 type TrainedModel struct {
 	Model Regressor
 	Norm  *Normalizer
+
+	mu sync.Mutex // guards the layers' forward/backward activation caches
+}
+
+// Clone deep-copies the trained model through its serialised form, so the
+// copy shares no activation buffers or weights with the original. Cheap
+// relative to any managed run (models are tens to hundreds of KB).
+func (tm *TrainedModel) Clone() *TrainedModel {
+	var buf bytes.Buffer
+	if err := Save(&buf, tm); err != nil {
+		panic(fmt.Sprintf("nn: clone failed to serialize: %v", err))
+	}
+	out, err := Load(&buf)
+	if err != nil {
+		panic(fmt.Sprintf("nn: clone failed to deserialize: %v", err))
+	}
+	return out
 }
 
 // Train fits a regressor on inputs (raw feature space) and targets in
@@ -155,6 +181,8 @@ func (tm *TrainedModel) FineTune(in Inputs, yMS *tensor.Dense, cfg TrainConfig) 
 }
 
 func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	d := tm.Model.Dims()
 	norm := tm.Norm.Apply(in, d)
 	y := yMS.Clone()
@@ -204,6 +232,8 @@ func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
 // Predict returns latency predictions in milliseconds for raw-space inputs,
 // evaluated in batches to bound memory.
 func (tm *TrainedModel) Predict(in Inputs) *tensor.Dense {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	d := tm.Model.Dims()
 	norm := tm.Norm.Apply(in, d)
 	n := in.Batch()
@@ -228,6 +258,8 @@ func (tm *TrainedModel) Predict(in Inputs) *tensor.Dense {
 // PredictWithLatent returns millisecond predictions plus the latent Lf for
 // models that expose one (LatencyCNN); latent is nil otherwise.
 func (tm *TrainedModel) PredictWithLatent(in Inputs) (*tensor.Dense, *tensor.Dense) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	d := tm.Model.Dims()
 	norm := tm.Norm.Apply(in, d)
 	n := in.Batch()

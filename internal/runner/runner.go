@@ -43,6 +43,14 @@ type Policy interface {
 	Decide(s State) Decision
 }
 
+// PolicyFactory constructs a fresh Policy instance for one managed run.
+// Policies are stateful (autoscale cooldown timestamps, PowerChief queue
+// estimates, the scheduler's trust counters), so an instance must never be
+// shared across runs — least of all concurrent ones. Code that executes
+// more than one run takes a PolicyFactory instead of a Policy, which makes
+// the reuse mistake unrepresentable: every run gets its own instance.
+type PolicyFactory func() Policy
+
 // TraceRow is one decision interval's record in a run trace.
 type TraceRow struct {
 	Time      float64

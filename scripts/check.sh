@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification gate: vet, build, tests, and the race detector.
+# This is what CI (and the tier-1 check in ROADMAP.md) runs.
+#
+# The race stage runs with -short: the full-length end-to-end pipelines it
+# skips are serial and already covered by the plain test stage, while every
+# concurrency-relevant test (internal/harness, the experiments Lab, the
+# parallel drivers) runs in short mode too — so the race detector still
+# sees all of the machinery that actually runs concurrently, without the
+# ~10x race-mode slowdown on multi-minute serial pipelines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./... "$@"
+
+echo "== go test -race (short) =="
+go test -race -short -timeout 30m ./... "$@"
+
+echo "OK"

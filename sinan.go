@@ -28,6 +28,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/dataset"
 	"sinan/internal/explain"
+	"sinan/internal/harness"
 	"sinan/internal/nn"
 	"sinan/internal/runner"
 	"sinan/internal/tensor"
@@ -53,6 +54,15 @@ type (
 	Pattern = workload.Pattern
 	// AppOption customises application construction.
 	AppOption = apps.Option
+	// PolicyFactory constructs a fresh Policy instance per managed run;
+	// suites require factories because policies carry per-run state.
+	PolicyFactory = runner.PolicyFactory
+	// RunSpec declares one managed run for the suite executor.
+	RunSpec = harness.RunSpec
+	// Suite is an ordered set of RunSpecs executed as one campaign.
+	Suite = harness.Suite
+	// Outcome pairs a RunSpec with its Result and resolved seed.
+	Outcome = harness.Outcome
 )
 
 // Application constructors and variants (Sec. 2.2 of the paper).
@@ -140,6 +150,21 @@ func LoadModel(path string) (*Model, error) { return core.LoadHybrid(path) }
 // Scheduler returns Sinan's online scheduling policy for an application.
 func Scheduler(app *App, m *Model) Policy {
 	return core.NewScheduler(app, m, core.SchedulerOptions{})
+}
+
+// SchedulerFactory returns a PolicyFactory that builds a fresh Sinan
+// scheduler — with its own clone of the model — for every run, which makes
+// it safe to use across the runs of a parallel Suite.
+func SchedulerFactory(app *App, m *Model) PolicyFactory {
+	return core.SchedulerFactory(app, m, core.SchedulerOptions{})
+}
+
+// RunSuite executes every spec of a suite on a worker pool (workers <= 0
+// uses GOMAXPROCS) and returns outcomes in spec order. Results are
+// bit-identical for any worker count: each spec's seed depends only on the
+// suite name, spec name, position, and base seed.
+func RunSuite(s Suite, workers int) []Outcome {
+	return harness.Run(s, harness.Options{Workers: workers})
 }
 
 // Baseline policies evaluated in the paper (Sec. 5.3).
