@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench speedup
+.PHONY: build test race vet check bench bench-json speedup
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Inference/training micro-benchmarks; each prints one machine-readable
+# {"bench":...} JSON line, scraped into BENCH_infer.json for CI tracking.
+bench-json:
+	$(GO) test -run='^$$' -bench='ConvForward|PredictBatch|TrainEpoch' -benchtime=1x \
+		| grep '^{' > BENCH_infer.json
+	cat BENCH_infer.json
 
 # Serial-vs-parallel wall-clock comparison of the run harness; emits a
 # machine-readable {"bench":"suite_speedup",...} JSON line.

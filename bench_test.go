@@ -106,10 +106,107 @@ func BenchmarkCNNInference(b *testing.B) {
 	for i := range in.RH.Data {
 		in.RH.Data[i] = float64(i%17) * 0.1
 	}
+	ctx := nn.NewContext()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		model.Forward(in)
+		model.Forward(ctx, in)
 	}
+}
+
+// BenchmarkConvForward compares the im2col+GEMM Conv2D forward against the
+// naive six-loop reference on a scheduler-sized batch, and prints one JSON
+// line with both timings for CI scraping.
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := nn.NewConv2D(rng, "conv", 6, 32, 3, 1)
+	const cands = 200
+	x := tensor.New(cands, 6, 28, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	ctx := nn.NewContext()
+	conv.Forward(ctx, x) // warm the tape buffers
+	ctx.Reset()
+
+	naiveStart := time.Now()
+	conv.NaiveForward(x)
+	naiveMS := float64(time.Since(naiveStart).Microseconds()) / 1000
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		ctx.Reset()
+		conv.Forward(ctx, x)
+	}
+	im2colMS := float64(time.Since(start).Microseconds()) / 1000 / float64(b.N)
+	b.StopTimer()
+	fmt.Printf("{\"bench\":\"conv_forward\",\"batch\":%d,\"im2col_ms\":%.3f,\"naive_ms\":%.3f,\"speedup\":%.2f}\n",
+		cands, im2colMS, naiveMS, naiveMS/im2colMS)
+}
+
+// BenchmarkPredictBatch measures one full hybrid-model query (CNN + boosted
+// trees) through a reused prediction context — the scheduler's steady-state
+// per-decision cost — and prints one JSON line.
+func BenchmarkPredictBatch(b *testing.B) {
+	l := sharedLab()
+	m, _ := l.SocialModel()
+	d := m.D
+	const cands = 200
+	in := nn.Inputs{
+		RH: tensor.New(cands, d.F, d.N, d.T),
+		LH: tensor.New(cands, d.T, d.M),
+		RC: tensor.New(cands, d.N),
+	}
+	for i := range in.RH.Data {
+		in.RH.Data[i] = float64(i%17) * 0.1
+	}
+	for i := range in.RC.Data {
+		in.RC.Data[i] = 2
+	}
+	ctx := core.NewPredictContext()
+	m.PredictBatch(ctx, in) // warm the context buffers
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(ctx, in)
+	}
+	perOp := float64(time.Since(start).Microseconds()) / 1000 / float64(b.N)
+	b.StopTimer()
+	fmt.Printf("{\"bench\":\"predict_batch\",\"cands\":%d,\"ms_per_op\":%.3f}\n", cands, perOp)
+}
+
+// BenchmarkTrainEpoch measures one epoch of data-parallel minibatch training
+// on a synthetic scheduler-sized dataset and prints one JSON line.
+func BenchmarkTrainEpoch(b *testing.B) {
+	d := nn.Dims{N: 28, T: 5, F: 6, M: 5}
+	rng := rand.New(rand.NewSource(7))
+	const n = 512
+	in := nn.Inputs{
+		RH: tensor.New(n, d.F, d.N, d.T),
+		LH: tensor.New(n, d.T, d.M),
+		RC: tensor.New(n, d.N),
+	}
+	y := tensor.New(n, d.M)
+	for i := range in.RH.Data {
+		in.RH.Data[i] = rng.Float64()
+	}
+	for i := range in.RC.Data {
+		in.RC.Data[i] = 1 + rng.Float64()
+	}
+	for i := range y.Data {
+		y.Data[i] = 50 + 10*rng.Float64()
+	}
+	const shards = 4
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		model := nn.NewLatencyCNN(rand.New(rand.NewSource(1)), d, 32)
+		nn.Train(model, in, y, nn.TrainConfig{Epochs: 1, Batch: 64, QoSMS: 500, Seed: 1, Shards: shards})
+	}
+	perOp := float64(time.Since(start).Microseconds()) / 1000 / float64(b.N)
+	b.StopTimer()
+	fmt.Printf("{\"bench\":\"train_epoch\",\"samples\":%d,\"shards\":%d,\"ms_per_epoch\":%.1f}\n",
+		n, shards, perOp)
 }
 
 // BenchmarkCNNTrainStep measures one SGD step on a 256-sample batch.
@@ -124,11 +221,14 @@ func BenchmarkCNNTrainStep(b *testing.B) {
 	y := tensor.New(256, d.M)
 	opt := &nn.SGD{LR: 0.01, Momentum: 0.9}
 	loss := nn.ScaledMSE{Knee: 5, Alpha: 1}
+	ctx := nn.NewContext()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pred := model.Forward(in)
+		ctx.Reset()
+		pred := model.Forward(ctx, in)
 		_, grad := loss.Compute(pred, y)
-		model.Backward(grad)
+		model.Backward(ctx, grad)
+		ctx.FlushGrads(model.Params())
 		opt.Step(model.Params())
 	}
 }

@@ -163,8 +163,15 @@ func btFeatures(tm *nn.TrainedModel, ds *dataset.Dataset) ([][]float64, []bool) 
 
 // btRow assembles one BT feature row for sample i of a batch.
 func btRow(latent *tensor.Dense, in nn.Inputs, d nn.Dims, i int) []float64 {
+	row := make([]float64, latent.Shape[1]+2*d.N)
+	btRowInto(row, latent, in, d, i)
+	return row
+}
+
+// btRowInto fills a caller-owned BT feature row for sample i of a batch;
+// row must have length latent width + 2N.
+func btRowInto(row []float64, latent *tensor.Dense, in nn.Inputs, d nn.Dims, i int) {
 	l := latent.Shape[1]
-	row := make([]float64, l+2*d.N)
 	copy(row, latent.Data[i*l:(i+1)*l])
 	rc := in.RC.Data[i*d.N : (i+1)*d.N]
 	copy(row[l:], rc)
@@ -178,7 +185,6 @@ func btRow(latent *tensor.Dense, in nn.Inputs, d nn.Dims, i int) []float64 {
 		}
 		row[l+d.N+t] = usage / alloc
 	}
-	return row
 }
 
 // calibrateThresholds picks p_u as the largest threshold keeping validation
@@ -211,16 +217,20 @@ func calibrateThresholds(bt *boost.Model, X [][]float64, y []bool) (pd, pu float
 	return pd, pu
 }
 
-// Clone returns a hybrid model that shares no mutable state with the
-// receiver: the CNN (whose layers cache activations during Forward) is
-// deep-copied, while the Boosted Trees stage is shared — tree traversal is
-// read-only. Concurrent managed runs must each use their own clone so model
-// queries proceed in parallel instead of serialising on the CNN's internal
-// lock.
-func (m *HybridModel) Clone() *HybridModel {
-	cp := *m
-	cp.Lat = m.Lat.Clone()
-	return &cp
+// PredictContext owns the per-caller scratch a hybrid prediction needs:
+// the CNN evaluation context plus the BT probability and feature-row
+// buffers. A trained HybridModel is immutable, so one instance is shared
+// by any number of goroutines, each holding its own PredictContext. A
+// PredictContext is not safe for concurrent use.
+type PredictContext struct {
+	NN  *nn.Context
+	pv  []float64
+	row []float64
+}
+
+// NewPredictContext returns an empty prediction context.
+func NewPredictContext() *PredictContext {
+	return &PredictContext{NN: nn.NewContext()}
 }
 
 // Meta implements the scheduler's Predictor interface.
@@ -231,13 +241,26 @@ func (m *HybridModel) Meta() ModelMeta {
 // PredictBatch evaluates candidate allocations sharing one history window:
 // inputs must already be assembled as a batch with identical RH/LH rows and
 // per-candidate RC rows. It returns per-candidate predicted latencies (ms,
-// [B, M]) and violation probabilities.
-func (m *HybridModel) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
-	pred, latent := m.Lat.PredictWithLatent(in)
+// [B, M]) and violation probabilities, both owned by ctx and valid until
+// its next use. A nil ctx allocates a throwaway context.
+func (m *HybridModel) PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
+	if ctx == nil {
+		ctx = NewPredictContext()
+	}
+	pred, latent := m.Lat.PredictWithLatentCtx(ctx.NN, in)
 	b := in.Batch()
-	pv := make([]float64, b)
+	if cap(ctx.pv) < b {
+		ctx.pv = make([]float64, b)
+	}
+	pv := ctx.pv[:b]
+	need := latent.Shape[1] + 2*m.D.N
+	if cap(ctx.row) < need {
+		ctx.row = make([]float64, need)
+	}
+	row := ctx.row[:need]
 	for i := 0; i < b; i++ {
-		pv[i] = m.Viol.PredictProb(btRow(latent, in, m.D, i))
+		btRowInto(row, latent, in, m.D, i)
+		pv[i] = m.Viol.PredictProb(row)
 	}
 	return pred, pv
 }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"sinan/internal/boost"
+	"sinan/internal/nn"
+	"sinan/internal/tensor"
+)
+
+// tinyHotelHybrid builds a small but real hybrid model sized for the hotel
+// application's tier count, so it can drive a Scheduler in tests.
+func tinyHotelHybrid(t *testing.T) *HybridModel {
+	t.Helper()
+	app := testApp()
+	d := nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}
+	rng := rand.New(rand.NewSource(1))
+	const latent = 8
+	cnn := nn.NewLatencyCNN(rng, d, latent)
+	n := 64
+	in := nn.Inputs{
+		RH: tensor.New(n, d.F, d.N, d.T),
+		LH: tensor.New(n, d.T, d.M),
+		RC: tensor.New(n, d.N),
+	}
+	y := tensor.New(n, d.M)
+	for i := range in.RH.Data {
+		in.RH.Data[i] = rng.Float64()
+	}
+	for i := range in.RC.Data {
+		in.RC.Data[i] = 1 + rng.Float64()
+	}
+	for i := range y.Data {
+		y.Data[i] = 50 + 10*rng.Float64()
+	}
+	tm := nn.Train(cnn, in, y, nn.TrainConfig{Epochs: 2, Batch: 16, QoSMS: 200, Seed: 1})
+
+	X := make([][]float64, 4)
+	for i := range X {
+		X[i] = make([]float64, latent+2*d.N)
+		X[i][0] = float64(i) / 4
+	}
+	bt := boost.Train(X, []bool{false, true, false, true}, boost.Config{NumTrees: 5}, nil, nil)
+	return &HybridModel{
+		Lat: tm, Viol: bt, D: d, K: 5, QoSMS: 200,
+		RMSEValid: 20, Pd: 0.1, Pu: 0.3,
+	}
+}
+
+func hybridQueryBatch(d nn.Dims, b int) nn.Inputs {
+	in := nn.Inputs{
+		RH: tensor.New(b, d.F, d.N, d.T),
+		LH: tensor.New(b, d.T, d.M),
+		RC: tensor.New(b, d.N),
+	}
+	for i := range in.RH.Data {
+		in.RH.Data[i] = float64(i%13) * 0.1
+	}
+	for i := range in.RC.Data {
+		in.RC.Data[i] = 2
+	}
+	return in
+}
+
+// One shared HybridModel queried concurrently from many goroutines, each
+// holding its own PredictContext, must agree bit-for-bit with a serial
+// query. Under -race this also proves inference never mutates the model.
+func TestSharedHybridConcurrentPredictBitIdentical(t *testing.T) {
+	m := tinyHotelHybrid(t)
+	in := hybridQueryBatch(m.D, 50)
+	wantLat, wantPV := m.PredictBatch(nil, in)
+	wantLat = wantLat.Clone()
+	wantPV = append([]float64(nil), wantPV...)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := NewPredictContext()
+			for iter := 0; iter < 5; iter++ {
+				lat, pv := m.PredictBatch(ctx, in)
+				for i := range wantLat.Data {
+					if lat.Data[i] != wantLat.Data[i] {
+						t.Errorf("latency diverges at %d: %v vs %v", i, lat.Data[i], wantLat.Data[i])
+						return
+					}
+				}
+				for i := range wantPV {
+					if pv[i] != wantPV[i] {
+						t.Errorf("pviol diverges at %d: %v vs %v", i, pv[i], wantPV[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The scheduler's per-interval model query — window assembly, candidate
+// tensor fill, CNN forward, BT scoring — must not allocate in steady state:
+// all of it runs on buffers owned by the scheduler and its PredictContext.
+func TestSchedulerPredictSteadyStateAllocs(t *testing.T) {
+	app := testApp()
+	m := tinyHotelHybrid(t)
+	s := NewScheduler(app, m, SchedulerOptions{})
+	alloc := mkAlloc(app, 2)
+	for i := 0; i < m.D.T+1; i++ {
+		s.Decide(stateFor(app, 20, alloc, 0.3))
+	}
+	st := stateFor(app, 20, alloc, 0.3)
+	cands := s.candidates(st)
+	d := s.meta.D
+
+	// Single-threaded so parallel kernels take their inline path; the guard
+	// is about buffer reuse, not goroutine-dispatch overhead.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	s.predictCandidates(cands, d) // warm the context and candidate tensors
+	allocs := testing.AllocsPerRun(10, func() { s.predictCandidates(cands, d) })
+	if allocs > 2 {
+		t.Fatalf("steady-state predict path allocates %.0f objects per query, want ~0", allocs)
+	}
+}

@@ -69,10 +69,12 @@ const (
 )
 
 // Predictor is the model interface the scheduler consults: batched
-// candidate evaluation plus the metadata its filters need. *HybridModel is
-// the production implementation; tests substitute fakes.
+// candidate evaluation plus the metadata its filters need. The context
+// carries all per-caller evaluation state (implementations must accept
+// nil and allocate a throwaway). *HybridModel is the production
+// implementation; tests substitute fakes.
 type Predictor interface {
-	PredictBatch(in nn.Inputs) (*tensor.Dense, []float64)
+	PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64)
 	Meta() ModelMeta
 }
 
@@ -99,6 +101,14 @@ type Scheduler struct {
 	mistrust          int
 	cooldown          int // intervals to hold after an emergency upscale
 	Mispredictions    int
+
+	// Per-scheduler model-evaluation state: the prediction context and the
+	// reused candidate-batch input tensors. These make the steady-state
+	// decide path allocation-free on the model side while the shared
+	// Predictor itself stays immutable.
+	predCtx      *PredictContext
+	candIn       nn.Inputs
+	rhRow, lhRow []float64
 }
 
 // NewScheduler builds the scheduler for an application.
@@ -118,6 +128,7 @@ func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler 
 		statHist: metrics.NewHistory[[]float64](meta.D.T),
 		latHist:  metrics.NewHistory[[]float64](meta.D.T),
 		downAge:  make([]int, len(app.Tiers)),
+		predCtx:  NewPredictContext(),
 	}
 	for _, tc := range app.Tiers {
 		minC, maxC := tc.MinCPU, tc.MaxCPU
@@ -136,16 +147,16 @@ func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler 
 	return s
 }
 
-// SchedulerFactory returns a runner.PolicyFactory producing a fully
-// isolated Sinan scheduler per managed run: the hybrid model is cloned so
-// concurrent runs never share the CNN's activation buffers, and the trust
-// counters, history windows, and misprediction tallies start fresh. This is
-// the constructor harness-driven code must use — handing one *Scheduler (or
-// one *HybridModel) to several runs would leak trust state between them and
-// race on model internals.
+// SchedulerFactory returns a runner.PolicyFactory producing a fresh Sinan
+// scheduler per managed run. The hybrid model is shared by every run — a
+// trained model is an immutable value, and each scheduler owns the
+// prediction context holding all per-call evaluation state — while the
+// trust counters, history windows, and misprediction tallies start fresh
+// per run. This is the constructor harness-driven code must use: handing
+// one *Scheduler to several runs would leak trust state between them.
 func SchedulerFactory(app *apps.App, m *HybridModel, opts SchedulerOptions) runner.PolicyFactory {
 	return func() runner.Policy {
-		return NewScheduler(app, m.Clone(), opts)
+		return NewScheduler(app, m, opts)
 	}
 }
 
@@ -423,21 +434,21 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 	return out
 }
 
-// predictCandidates evaluates all candidates in one batched model query.
+// predictCandidates evaluates all candidates in one batched model query,
+// reusing the scheduler's input tensors and prediction context.
 func (s *Scheduler) predictCandidates(cands []candidate, d nn.Dims) (*tensor.Dense, []float64) {
 	b := len(cands)
-	rhRow, lhRow := dataset.WindowInputs(d, s.statHist, s.latHist)
-	in := nn.Inputs{
-		RH: tensor.New(b, d.F, d.N, d.T),
-		LH: tensor.New(b, d.T, d.M),
-		RC: tensor.New(b, d.N),
-	}
+	s.rhRow, s.lhRow = dataset.WindowInputsInto(s.rhRow, s.lhRow, d, s.statHist, s.latHist)
+	rhRow, lhRow := s.rhRow, s.lhRow
+	s.candIn.RH = tensor.Ensure(s.candIn.RH, b, d.F, d.N, d.T)
+	s.candIn.LH = tensor.Ensure(s.candIn.LH, b, d.T, d.M)
+	s.candIn.RC = tensor.Ensure(s.candIn.RC, b, d.N)
 	for i := 0; i < b; i++ {
-		copy(in.RH.Data[i*len(rhRow):(i+1)*len(rhRow)], rhRow)
-		copy(in.LH.Data[i*len(lhRow):(i+1)*len(lhRow)], lhRow)
-		copy(in.RC.Data[i*d.N:(i+1)*d.N], cands[i].alloc)
+		copy(s.candIn.RH.Data[i*len(rhRow):(i+1)*len(rhRow)], rhRow)
+		copy(s.candIn.LH.Data[i*len(lhRow):(i+1)*len(lhRow)], lhRow)
+		copy(s.candIn.RC.Data[i*d.N:(i+1)*d.N], cands[i].alloc)
 	}
-	return s.M.PredictBatch(in)
+	return s.M.PredictBatch(s.predCtx, s.candIn)
 }
 
 // selectCandidate applies the filters of Sec. 4.3 and returns the index of
@@ -468,8 +479,8 @@ func (s *Scheduler) selectCandidate(st runner.State, cands []candidate, pred *te
 	// acceptable.
 	latBound := s.meta.QoSMS - s.meta.RMSEValid
 	downBound := latBound
-	if cap := 0.7 * s.meta.QoSMS; downBound > cap {
-		downBound = cap
+	if downCap := 0.7 * s.meta.QoSMS; downBound > downCap {
+		downBound = downCap
 	}
 
 	best := -1

@@ -27,7 +27,7 @@ func (f *chaosModel) next() float64 {
 	return float64(f.seed>>11) / float64(1<<53)
 }
 
-func (f *chaosModel) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
+func (f *chaosModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
 	b := in.Batch()
 	pred := tensor.New(b, f.d.M)
 	pv := make([]float64, b)
@@ -144,7 +144,7 @@ func (p *paranoidModel) Meta() ModelMeta {
 	return ModelMeta{D: p.d, QoSMS: p.qos, RMSEValid: 10, Pd: 0.2, Pu: 0.4}
 }
 
-func (p *paranoidModel) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
+func (p *paranoidModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
 	b := in.Batch()
 	pred := tensor.New(b, p.d.M)
 	pv := make([]float64, b)

@@ -313,7 +313,18 @@ func FlattenStats(stats []cluster.Stats, d nn.Dims) []float64 {
 // and X_LH as [T,M]) from full history rings of flattened interval features
 // and latency percentiles.
 func WindowInputs(d nn.Dims, statHist, latHist *metrics.History[[]float64]) (rh, lh []float64) {
-	rh = make([]float64, d.F*d.N*d.T)
+	return WindowInputsInto(nil, nil, d, statHist, latHist)
+}
+
+// WindowInputsInto is WindowInputs writing into caller-owned buffers, grown
+// when their capacity is insufficient — the allocation-free variant for
+// callers assembling inputs every decision interval.
+func WindowInputsInto(rh, lh []float64, d nn.Dims, statHist, latHist *metrics.History[[]float64]) ([]float64, []float64) {
+	if n := d.F * d.N * d.T; cap(rh) < n {
+		rh = make([]float64, n)
+	} else {
+		rh = rh[:n]
+	}
 	for t := 0; t < d.T; t++ {
 		snap := statHist.At(t)
 		for f := 0; f < d.F; f++ {
@@ -322,7 +333,11 @@ func WindowInputs(d nn.Dims, statHist, latHist *metrics.History[[]float64]) (rh,
 			}
 		}
 	}
-	lh = make([]float64, d.T*d.M)
+	if n := d.T * d.M; cap(lh) < n {
+		lh = make([]float64, n)
+	} else {
+		lh = lh[:n]
+	}
 	for t := 0; t < d.T; t++ {
 		copy(lh[t*d.M:(t+1)*d.M], latHist.At(t))
 	}

@@ -95,9 +95,10 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // exactly one collection/training run and observe the same artifact, and
 // progress logging is serialised.
 //
-// The artifacts a Lab hands out are shared. Managed runs must therefore
-// never use them directly — harness-driven code builds per-run policies
-// with core.SchedulerFactory, which clones the model for every run.
+// The artifacts a Lab hands out are shared, and safely so: trained models
+// are immutable values evaluated through per-caller contexts. Harness-driven
+// code still builds per-run policies with core.SchedulerFactory, because the
+// scheduler's trust counters and history are per-run state.
 type Lab struct {
 	// Quick scales everything down (shorter collection, fewer epochs,
 	// fewer sweep points) for CI/benchmark runs.

@@ -45,6 +45,7 @@ func Fig4(l *Lab) []*Table {
 		idx[i] = i
 	}
 	const batch = 256
+	ctx := nn.NewContext()
 	for e := 0; e < epochs; e++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for s := 0; s < len(idx); s += batch {
@@ -60,7 +61,7 @@ func Fig4(l *Lab) []*Table {
 				copy(by.Data[k*d.M:(k+1)*d.M], yv.Data[i*d.M:(i+1)*d.M])
 				copy(bv.Data[k*ds.K:(k+1)*ds.K], vlabels.Data[i*ds.K:(i+1)*ds.K])
 			}
-			lat, logits := mt.Forward(bin)
+			lat, logits := mt.Forward(ctx, bin)
 			_, dlat := latLoss.Compute(lat, by)
 			_, dlog := nn.BCEWithLogits{}.Compute(logits, bv)
 			// The joint objective weights both tasks; the classification
@@ -68,8 +69,8 @@ func Fig4(l *Lab) []*Table {
 			// the semantic interference the paper attributes the latency
 			// overprediction to.
 			tensor.ScaleInPlace(dlog, 5)
-			nn.ZeroGrads(mt.Params())
-			mt.Backward(dlat, dlog)
+			mt.Backward(ctx, dlat, dlog)
+			ctx.FlushGrads(mt.Params())
 			nn.ClipGrads(mt.Params(), 5)
 			opt.Step(mt.Params())
 		}
@@ -80,7 +81,7 @@ func Fig4(l *Lab) []*Table {
 	sm, _ := l.SocialModel()
 	vIn := val.Inputs()
 	vNorm := norm.Apply(vIn, d)
-	mtPred, _ := mt.Forward(vNorm)
+	mtPred, _ := mt.Forward(ctx, vNorm)
 	cnnPred := sm.Lat.Predict(vIn)
 
 	// Bias is evaluated on the sub-QoS region — the operating range the

@@ -50,7 +50,9 @@ func Table2(l *Lab) []*Table {
 	}{
 		{"MLP", func(d nn.Dims, seed int64) nn.Regressor { return nn.NewMLP(rand.New(rand.NewSource(seed)), d) }},
 		{"LSTM", func(d nn.Dims, seed int64) nn.Regressor { return nn.NewLSTMModel(rand.New(rand.NewSource(seed)), d) }},
-		{"CNN", func(d nn.Dims, seed int64) nn.Regressor { return nn.NewLatencyCNN(rand.New(rand.NewSource(seed)), d, 32) }},
+		{"CNN", func(d nn.Dims, seed int64) nn.Regressor {
+			return nn.NewLatencyCNN(rand.New(rand.NewSource(seed)), d, 32)
+		}},
 	}
 	out.Rows = pmap(l, len(envs)*len(archs), func(task int) []string {
 		env := envs[task/len(archs)]

@@ -11,7 +11,6 @@ import (
 type Dense struct {
 	In, Out int
 	W, B    *Param
-	x       *tensor.Dense
 }
 
 // NewDense creates a dense layer with Xavier-initialised weights.
@@ -26,13 +25,15 @@ func NewDense(rng *rand.Rand, name string, in, out int) *Dense {
 }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
+func (d *Dense) Forward(ctx *Context, x *tensor.Dense) *tensor.Dense {
 	if len(x.Shape) != 2 || x.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: dense expects [B,%d], got %v", d.In, x.Shape))
 	}
-	d.x = x
-	y := tensor.MatMul(x, d.W.W)
+	f := ctx.push()
+	f.x = x
 	b := x.Shape[0]
+	y := f.buf(0, b, d.Out)
+	tensor.MatMulInto(y, x, d.W.W)
 	for i := 0; i < b; i++ {
 		row := y.Data[i*d.Out : (i+1)*d.Out]
 		for j := 0; j < d.Out; j++ {
@@ -43,50 +44,58 @@ func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(dout *tensor.Dense) *tensor.Dense {
-	dW := tensor.MatMulTransA(d.x, dout)
-	tensor.AddInPlace(d.W.Grad, dW)
+func (d *Dense) Backward(ctx *Context, dout *tensor.Dense) *tensor.Dense {
+	f := ctx.pop()
+	dW := f.buf(1, d.In, d.Out)
+	tensor.MatMulTransAInto(dW, f.x, dout)
+	tensor.AddInPlace(ctx.Grad(d.W), dW)
+	gb := ctx.Grad(d.B)
 	b := dout.Shape[0]
 	for i := 0; i < b; i++ {
 		row := dout.Data[i*d.Out : (i+1)*d.Out]
 		for j := 0; j < d.Out; j++ {
-			d.B.Grad.Data[j] += row[j]
+			gb.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(dout, d.W.W)
+	dx := f.buf(2, b, d.In)
+	tensor.MatMulTransBInto(dx, dout, d.W.W)
+	return dx
 }
 
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
 // ReLU is the rectified linear activation.
-type ReLU struct {
-	mask []bool
-}
+type ReLU struct{}
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
-	y := x.Clone()
-	if cap(r.mask) < len(y.Data) {
-		r.mask = make([]bool, len(y.Data))
+func (r *ReLU) Forward(ctx *Context, x *tensor.Dense) *tensor.Dense {
+	f := ctx.push()
+	y := f.buf(0, x.Shape...)
+	if cap(f.mask) < len(x.Data) {
+		f.mask = make([]bool, len(x.Data))
 	}
-	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
+	f.mask = f.mask[:len(x.Data)]
+	for i, v := range x.Data {
 		if v < 0 {
 			y.Data[i] = 0
-			r.mask[i] = false
+			f.mask[i] = false
 		} else {
-			r.mask[i] = true
+			y.Data[i] = v
+			f.mask[i] = true
 		}
 	}
 	return y
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+func (r *ReLU) Backward(ctx *Context, dout *tensor.Dense) *tensor.Dense {
+	f := ctx.pop()
+	dx := f.buf(1, dout.Shape...)
+	for i, v := range dout.Data {
+		if f.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -97,33 +106,38 @@ func (r *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
 func (r *ReLU) Params() []*Param { return nil }
 
 // Flatten reshapes [B, ...] to [B, prod(...)]. It is a pure view change.
-type Flatten struct {
-	inShape []int
-}
+type Flatten struct{}
 
 // Forward implements Layer.
-func (f *Flatten) Forward(x *tensor.Dense) *tensor.Dense {
-	f.inShape = append(f.inShape[:0], x.Shape...)
-	return x.Reshape(x.Shape[0], x.Size()/x.Shape[0])
+func (fl *Flatten) Forward(ctx *Context, x *tensor.Dense) *tensor.Dense {
+	f := ctx.push()
+	f.shape = append(f.shape[:0], x.Shape...)
+	return f.view(0, x.Data, x.Shape[0], x.Size()/x.Shape[0])
 }
 
 // Backward implements Layer.
-func (f *Flatten) Backward(dout *tensor.Dense) *tensor.Dense {
-	return dout.Reshape(f.inShape...)
+func (fl *Flatten) Backward(ctx *Context, dout *tensor.Dense) *tensor.Dense {
+	f := ctx.pop()
+	return f.view(1, dout.Data, f.shape...)
 }
 
 // Params implements Layer.
-func (f *Flatten) Params() []*Param { return nil }
+func (fl *Flatten) Params() []*Param { return nil }
 
 // Conv2D is a 2-D convolution with stride 1 and symmetric zero padding.
 // Input [B, Cin, H, W], kernel K×K, output [B, Cout, H, W] (same padding
 // when Pad = K/2). The kernel window spans K adjacent tiers × K adjacent
 // timesteps, letting early layers learn local inter-tier dependencies and
 // deeper layers the whole graph (Sec. 3.1).
+//
+// Forward/Backward run via im2col: the input is unfolded into a
+// [Cin·K·K, B·OH·OW] patch matrix so the convolution is a single matmul
+// against the kernel viewed as [Cout, Cin·K·K], riding the optimised
+// (and batch-parallel) tensor kernels instead of six nested scalar loops.
 type Conv2D struct {
 	Cin, Cout, K, Pad int
 	W, B              *Param
-	x                 *tensor.Dense
+	wmat              *tensor.Dense // [Cout, Cin·K·K] view of W.W's storage
 }
 
 // NewConv2D creates a convolution layer with Xavier-initialised kernels.
@@ -134,6 +148,9 @@ func NewConv2D(rng *rand.Rand, name string, cin, cout, k, pad int) *Conv2D {
 		B: newParam(name+".b", cout),
 	}
 	c.W.initUniform(rng, cin*k*k, cout*k*k)
+	// Matrix view sharing W's backing array; serialize.Load copies into
+	// W.W.Data in place, so the view stays valid across deserialisation.
+	c.wmat = tensor.FromSlice(c.W.W.Data, cout, cin*k*k)
 	return c
 }
 
@@ -142,11 +159,74 @@ func (c *Conv2D) outDims(h, w int) (int, int) {
 }
 
 // Forward implements Layer.
-func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
+func (c *Conv2D) Forward(ctx *Context, x *tensor.Dense) *tensor.Dense {
 	if len(x.Shape) != 4 || x.Shape[1] != c.Cin {
 		panic(fmt.Sprintf("nn: conv expects [B,%d,H,W], got %v", c.Cin, x.Shape))
 	}
-	c.x = x
+	f := ctx.push()
+	f.x = x
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(h, w)
+	ckk, ohow := c.Cin*c.K*c.K, oh*ow
+	cols := f.buf(0, ckk, b*ohow)
+	tensor.Im2Col(cols, x, c.K, c.Pad)
+	ymat := f.buf(1, c.Cout, b*ohow)
+	tensor.MatMulInto(ymat, c.wmat, cols)
+	// Scatter [Cout, B·OH·OW] → [B, Cout, OH, OW], adding the bias.
+	y := f.buf(2, b, c.Cout, oh, ow)
+	for n := 0; n < b; n++ {
+		for co := 0; co < c.Cout; co++ {
+			src := ymat.Data[(co*b+n)*ohow : (co*b+n+1)*ohow]
+			dst := y.Data[(n*c.Cout+co)*ohow : (n*c.Cout+co+1)*ohow]
+			bias := c.B.W.Data[co]
+			for j, v := range src {
+				dst[j] = v + bias
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(ctx *Context, dout *tensor.Dense) *tensor.Dense {
+	f := ctx.pop()
+	x := f.x
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(h, w)
+	ckk, ohow := c.Cin*c.K*c.K, oh*ow
+	cols := f.bufs[0] // patch matrix from Forward, still valid
+	// Gather dout [B, Cout, OH, OW] → dymat [Cout, B·OH·OW] (ymat's layout).
+	dymat := f.buf(1, c.Cout, b*ohow)
+	gb := ctx.Grad(c.B)
+	for co := 0; co < c.Cout; co++ {
+		s := 0.0
+		for n := 0; n < b; n++ {
+			src := dout.Data[(n*c.Cout+co)*ohow : (n*c.Cout+co+1)*ohow]
+			copy(dymat.Data[(co*b+n)*ohow:(co*b+n+1)*ohow], src)
+			for _, v := range src {
+				s += v
+			}
+		}
+		gb.Data[co] += s
+	}
+	// dW = dY·colsᵀ, dcols = Wᵀ·dY, dx = col2im(dcols).
+	dW := f.buf(3, c.Cout, ckk)
+	tensor.MatMulTransBInto(dW, dymat, cols)
+	tensor.AddInPlace(ctx.Grad(c.W), dW)
+	dcols := f.buf(4, ckk, b*ohow)
+	tensor.MatMulTransAInto(dcols, c.wmat, dymat)
+	dx := f.buf(5, b, c.Cin, h, w)
+	tensor.Col2Im(dx, dcols, c.K, c.Pad)
+	return dx
+}
+
+// NaiveForward computes the convolution with the direct six-loop kernel.
+// It is the reference implementation the im2col path is verified against
+// (and the baseline BenchmarkConvForward quotes); Forward is the fast path.
+func (c *Conv2D) NaiveForward(x *tensor.Dense) *tensor.Dense {
+	if len(x.Shape) != 4 || x.Shape[1] != c.Cin {
+		panic(fmt.Sprintf("nn: conv expects [B,%d,H,W], got %v", c.Cin, x.Shape))
+	}
 	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := c.outDims(h, w)
 	y := tensor.New(b, c.Cout, oh, ow)
@@ -180,49 +260,6 @@ func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
 		}
 	}
 	return y
-}
-
-// Backward implements Layer.
-func (c *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
-	x := c.x
-	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
-	oh, ow := c.outDims(h, w)
-	dx := tensor.New(b, c.Cin, h, w)
-	kd := c.W.W.Data
-	gw := c.W.Grad.Data
-	for n := 0; n < b; n++ {
-		for co := 0; co < c.Cout; co++ {
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					g := dout.Data[((n*c.Cout+co)*oh+i)*ow+j]
-					if g == 0 {
-						continue
-					}
-					c.B.Grad.Data[co] += g
-					for ci := 0; ci < c.Cin; ci++ {
-						for ki := 0; ki < c.K; ki++ {
-							ii := i + ki - c.Pad
-							if ii < 0 || ii >= h {
-								continue
-							}
-							xoff := ((n*c.Cin+ci)*h + ii) * w
-							koff := ((co*c.Cin+ci)*c.K + ki) * c.K
-							dxoff := ((n*c.Cin+ci)*h + ii) * w
-							for kj := 0; kj < c.K; kj++ {
-								jj := j + kj - c.Pad
-								if jj < 0 || jj >= w {
-									continue
-								}
-								gw[koff+kj] += g * x.Data[xoff+jj]
-								dx.Data[dxoff+jj] += g * kd[koff+kj]
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return dx
 }
 
 // Params implements Layer.

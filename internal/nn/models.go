@@ -45,10 +45,12 @@ type Dims struct {
 }
 
 // Regressor is a latency predictor: Forward maps Inputs to predicted tail
-// latencies [B, M] (p95..p99 of the next decision interval).
+// latencies [B, M] (p95..p99 of the next decision interval). All per-call
+// state lives on the caller's Context; Forward resets the context tape,
+// and Backward must follow the matching Forward on the same context.
 type Regressor interface {
-	Forward(in Inputs) *tensor.Dense
-	Backward(dpred *tensor.Dense)
+	Forward(ctx *Context, in Inputs) *tensor.Dense
+	Backward(ctx *Context, dpred *tensor.Dense)
 	Params() []*Param
 	Dims() Dims
 }
@@ -57,7 +59,8 @@ type Regressor interface {
 // over the resource-history image, fused with encoded latency history and
 // the candidate allocation into a compact latent vector Lf, from which the
 // next-interval tail latencies are predicted. Lf is also the feature vector
-// the Boosted Trees violation predictor consumes.
+// the Boosted Trees violation predictor consumes; Forward stores it in
+// ctx.Latent.
 type LatencyCNN struct {
 	dims   Dims
 	Latent int
@@ -68,8 +71,7 @@ type LatencyCNN struct {
 	trunk  *Sequential // concat → latent Lf
 	head   *Dense      // Lf → M latencies
 
-	lastLatent *tensor.Dense
-	dimsCache  [3]int
+	dimsCache [3]int
 }
 
 // NewLatencyCNN builds the CNN with the given input dimensions and latent
@@ -105,36 +107,43 @@ func NewLatencyCNN(rng *rand.Rand, d Dims, latent int) *LatencyCNN {
 // Dims implements Regressor.
 func (m *LatencyCNN) Dims() Dims { return m.dims }
 
-// Forward implements Regressor and caches the latent vector Lf.
-func (m *LatencyCNN) Forward(in Inputs) *tensor.Dense {
-	rh := m.rhConv.Forward(in.RH)
-	lh := m.lhEnc.Forward(in.LH)
-	rc := m.rcEnc.Forward(in.RC)
-	cat := tensor.Concat(rh, lh, rc)
-	m.lastLatent = m.trunk.Forward(cat)
-	return m.head.Forward(m.lastLatent)
+// Forward implements Regressor and stores the latent vector Lf in
+// ctx.Latent.
+func (m *LatencyCNN) Forward(ctx *Context, in Inputs) *tensor.Dense {
+	ctx.Reset()
+	rh := m.rhConv.Forward(ctx, in.RH)
+	lh := m.lhEnc.Forward(ctx, in.LH)
+	rc := m.rcEnc.Forward(ctx, in.RC)
+	f := ctx.push()
+	cat := f.buf(0, in.Batch(), m.dimsCache[0]+m.dimsCache[1]+m.dimsCache[2])
+	tensor.ConcatInto(cat, rh, lh, rc)
+	ctx.Latent = m.trunk.Forward(ctx, cat)
+	return m.head.Forward(ctx, ctx.Latent)
 }
 
-// LastLatent returns the latent Lf [B, Latent] from the previous Forward.
-func (m *LatencyCNN) LastLatent() *tensor.Dense { return m.lastLatent }
-
 // Backward implements Regressor.
-func (m *LatencyCNN) Backward(dpred *tensor.Dense) {
-	m.BackwardWithLatentGrad(dpred, nil)
+func (m *LatencyCNN) Backward(ctx *Context, dpred *tensor.Dense) {
+	m.BackwardWithLatentGrad(ctx, dpred, nil)
 }
 
 // BackwardWithLatentGrad backpropagates the prediction gradient plus an
-// optional extra gradient flowing directly into the latent Lf.
-func (m *LatencyCNN) BackwardWithLatentGrad(dpred, dlatent *tensor.Dense) {
-	dl := m.head.Backward(dpred)
+// optional extra gradient flowing directly into the latent Lf. The branch
+// order is the exact reverse of Forward's, as the tape requires.
+func (m *LatencyCNN) BackwardWithLatentGrad(ctx *Context, dpred, dlatent *tensor.Dense) {
+	dl := m.head.Backward(ctx, dpred)
 	if dlatent != nil {
 		tensor.AddInPlace(dl, dlatent)
 	}
-	dcat := m.trunk.Backward(dl)
-	parts := tensor.SplitGrad(dcat, m.dimsCache[0], m.dimsCache[1], m.dimsCache[2])
-	m.rhConv.Backward(parts[0])
-	m.lhEnc.Backward(parts[1])
-	m.rcEnc.Backward(parts[2])
+	dcat := m.trunk.Backward(ctx, dl)
+	f := ctx.pop()
+	b := dcat.Shape[0]
+	p0 := f.buf(1, b, m.dimsCache[0])
+	p1 := f.buf(2, b, m.dimsCache[1])
+	p2 := f.buf(3, b, m.dimsCache[2])
+	tensor.SplitInto(dcat, p0, p1, p2)
+	m.rcEnc.Backward(ctx, p2)
+	m.lhEnc.Backward(ctx, p1)
+	m.rhConv.Backward(ctx, p0)
 }
 
 // Params implements Regressor.
@@ -173,29 +182,35 @@ func NewMLP(rng *rand.Rand, d Dims) *MLP {
 // Dims implements Regressor.
 func (m *MLP) Dims() Dims { return m.dims }
 
-func (m *MLP) flatten(in Inputs) *tensor.Dense {
+// Forward implements Regressor.
+func (m *MLP) Forward(ctx *Context, in Inputs) *tensor.Dense {
+	ctx.Reset()
+	f := ctx.push()
 	b := in.Batch()
-	out := tensor.New(b, m.in)
+	flat := f.buf(0, b, m.in)
 	rhRow := in.RH.Size() / b
 	lhRow := in.LH.Size() / b
 	rcRow := in.RC.Size() / b
 	for i := 0; i < b; i++ {
 		off := i * m.in
-		copy(out.Data[off:], in.RH.Data[i*rhRow:(i+1)*rhRow])
-		copy(out.Data[off+rhRow:], in.LH.Data[i*lhRow:(i+1)*lhRow])
-		copy(out.Data[off+rhRow+lhRow:], in.RC.Data[i*rcRow:(i+1)*rcRow])
+		copy(flat.Data[off:], in.RH.Data[i*rhRow:(i+1)*rhRow])
+		copy(flat.Data[off+rhRow:], in.LH.Data[i*lhRow:(i+1)*lhRow])
+		copy(flat.Data[off+rhRow+lhRow:], in.RC.Data[i*rcRow:(i+1)*rcRow])
 	}
-	return out
+	return m.net.Forward(ctx, flat)
 }
 
-// Forward implements Regressor.
-func (m *MLP) Forward(in Inputs) *tensor.Dense { return m.net.Forward(m.flatten(in)) }
-
 // Backward implements Regressor.
-func (m *MLP) Backward(dpred *tensor.Dense) { m.net.Backward(dpred) }
+func (m *MLP) Backward(ctx *Context, dpred *tensor.Dense) {
+	m.net.Backward(ctx, dpred)
+	ctx.pop() // the flatten frame pushed by Forward
+}
 
 // Params implements Regressor.
 func (m *MLP) Params() []*Param { return m.net.Params() }
+
+// lstmRCOut is the width of LSTMModel's candidate-allocation encoding.
+const lstmRCOut = 16
 
 // LSTMModel is the recurrent baseline of Table 2: the resource history is
 // presented as a T-step sequence of [F·N + M] vectors (per-step resource
@@ -211,16 +226,16 @@ type LSTMModel struct {
 
 // NewLSTMModel builds the baseline LSTM regressor.
 func NewLSTMModel(rng *rand.Rand, d Dims) *LSTMModel {
-	const hidden, rcOut = 96, 16
+	const hidden = 96
 	return &LSTMModel{
 		dims:   d,
 		hidden: hidden,
 		lstm:   NewLSTM(rng, "lstm", d.F*d.N+d.M, hidden),
 		rcEnc: &Sequential{Layers: []Layer{
-			NewDense(rng, "lstm.rc", d.N, rcOut), &ReLU{},
+			NewDense(rng, "lstm.rc", d.N, lstmRCOut), &ReLU{},
 		}},
 		head: &Sequential{Layers: []Layer{
-			NewDense(rng, "lstm.head1", hidden+rcOut, 64), &ReLU{},
+			NewDense(rng, "lstm.head1", hidden+lstmRCOut, 64), &ReLU{},
 			NewDense(rng, "lstm.head2", 64, d.M),
 		}},
 	}
@@ -229,40 +244,46 @@ func NewLSTMModel(rng *rand.Rand, d Dims) *LSTMModel {
 // Dims implements Regressor.
 func (m *LSTMModel) Dims() Dims { return m.dims }
 
-// sequence rearranges RH [B,F,N,T] + LH [B,T,M] into [B,T,F·N+M].
-func (m *LSTMModel) sequence(in Inputs) *tensor.Dense {
+// Forward implements Regressor.
+func (m *LSTMModel) Forward(ctx *Context, in Inputs) *tensor.Dense {
+	ctx.Reset()
+	f := ctx.push()
 	d := m.dims
 	b := in.Batch()
 	dim := d.F*d.N + d.M
-	seq := tensor.New(b, d.T, dim)
+	// Rearrange RH [B,F,N,T] + LH [B,T,M] into the sequence [B,T,F·N+M].
+	seq := f.buf(0, b, d.T, dim)
 	for n := 0; n < b; n++ {
 		for t := 0; t < d.T; t++ {
 			off := (n*d.T + t) * dim
-			for f := 0; f < d.F; f++ {
+			for ff := 0; ff < d.F; ff++ {
 				for tier := 0; tier < d.N; tier++ {
-					seq.Data[off+f*d.N+tier] = in.RH.Data[((n*d.F+f)*d.N+tier)*d.T+t]
+					seq.Data[off+ff*d.N+tier] = in.RH.Data[((n*d.F+ff)*d.N+tier)*d.T+t]
 				}
 			}
 			copy(seq.Data[off+d.F*d.N:], in.LH.Data[(n*d.T+t)*d.M:(n*d.T+t+1)*d.M])
 		}
 	}
-	return seq
-}
-
-// Forward implements Regressor.
-func (m *LSTMModel) Forward(in Inputs) *tensor.Dense {
-	h := m.lstm.Forward(m.sequence(in))
-	rc := m.rcEnc.Forward(in.RC)
-	return m.head.Forward(tensor.Concat(h, rc))
+	h := m.lstm.Forward(ctx, seq)
+	rc := m.rcEnc.Forward(ctx, in.RC)
+	fc := ctx.push() // fusion frame, pushed after the branches
+	cat := fc.buf(0, b, m.hidden+lstmRCOut)
+	tensor.ConcatInto(cat, h, rc)
+	return m.head.Forward(ctx, cat)
 }
 
 // Backward implements Regressor. Gradients into the raw sequence inputs are
 // discarded (inputs are data, not parameters).
-func (m *LSTMModel) Backward(dpred *tensor.Dense) {
-	dcat := m.head.Backward(dpred)
-	parts := tensor.SplitGrad(dcat, m.hidden, 16)
-	m.lstm.Backward(parts[0])
-	m.rcEnc.Backward(parts[1])
+func (m *LSTMModel) Backward(ctx *Context, dpred *tensor.Dense) {
+	dcat := m.head.Backward(ctx, dpred)
+	fc := ctx.pop() // fusion frame
+	b := dcat.Shape[0]
+	dh := fc.buf(1, b, m.hidden)
+	drc := fc.buf(2, b, lstmRCOut)
+	tensor.SplitInto(dcat, dh, drc)
+	m.rcEnc.Backward(ctx, drc)
+	m.lstm.Backward(ctx, dh)
+	ctx.pop() // sequence frame
 }
 
 // Params implements Regressor.
@@ -297,16 +318,16 @@ func NewMultiTaskNN(rng *rand.Rand, d Dims, latent, k int) *MultiTaskNN {
 }
 
 // Forward returns predicted latencies [B, M] and violation logits [B, K].
-func (m *MultiTaskNN) Forward(in Inputs) (*tensor.Dense, *tensor.Dense) {
-	lat := m.CNN.Forward(in)
-	logits := m.vHead.Forward(m.CNN.LastLatent())
+func (m *MultiTaskNN) Forward(ctx *Context, in Inputs) (*tensor.Dense, *tensor.Dense) {
+	lat := m.CNN.Forward(ctx, in)
+	logits := m.vHead.Forward(ctx, ctx.Latent)
 	return lat, logits
 }
 
 // Backward propagates both heads' gradients through the shared trunk.
-func (m *MultiTaskNN) Backward(dlat, dlogits *tensor.Dense) {
-	dlatent := m.vHead.Backward(dlogits)
-	m.CNN.BackwardWithLatentGrad(dlat, dlatent)
+func (m *MultiTaskNN) Backward(ctx *Context, dlat, dlogits *tensor.Dense) {
+	dlatent := m.vHead.Backward(ctx, dlogits)
+	m.CNN.BackwardWithLatentGrad(ctx, dlat, dlatent)
 }
 
 // Params returns all learnable parameters.

@@ -54,11 +54,12 @@ func TestLatencyCNNShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	m := NewLatencyCNN(rng, testDims, 32)
 	in, _ := synthInputs(rng, 3, testDims)
-	out := m.Forward(in)
+	ctx := NewContext()
+	out := m.Forward(ctx, in)
 	if out.Shape[0] != 3 || out.Shape[1] != testDims.M {
 		t.Fatalf("cnn output shape %v", out.Shape)
 	}
-	if lf := m.LastLatent(); lf.Shape[0] != 3 || lf.Shape[1] != 32 {
+	if lf := ctx.Latent; lf.Shape[0] != 3 || lf.Shape[1] != 32 {
 		t.Fatalf("latent shape %v", lf.Shape)
 	}
 }
@@ -161,7 +162,8 @@ func TestMultiTaskNN(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	m := NewMultiTaskNN(rng, testDims, 16, 5)
 	in, _ := synthInputs(rng, 4, testDims)
-	lat, logits := m.Forward(in)
+	ctx := NewContext()
+	lat, logits := m.Forward(ctx, in)
 	if lat.Shape[1] != testDims.M || logits.Shape[1] != 5 {
 		t.Fatalf("multitask shapes: %v %v", lat.Shape, logits.Shape)
 	}
@@ -171,7 +173,8 @@ func TestMultiTaskNN(t *testing.T) {
 	dlog := tensor.New(logits.Shape...)
 	dlog.Fill(1)
 	ZeroGrads(m.Params())
-	m.Backward(dlat, dlog)
+	m.Backward(ctx, dlat, dlog)
+	ctx.FlushGrads(m.Params())
 	nonzero := false
 	for _, p := range m.Params() {
 		for _, g := range p.Grad.Data {
@@ -270,10 +273,10 @@ func TestSaveRejectsUnknownModel(t *testing.T) {
 
 type unknownModel struct{}
 
-func (unknownModel) Forward(in Inputs) *tensor.Dense { return nil }
-func (unknownModel) Backward(d *tensor.Dense)        {}
-func (unknownModel) Params() []*Param                { return nil }
-func (unknownModel) Dims() Dims                      { return Dims{} }
+func (unknownModel) Forward(ctx *Context, in Inputs) *tensor.Dense { return nil }
+func (unknownModel) Backward(ctx *Context, d *tensor.Dense)        {}
+func (unknownModel) Params() []*Param                              { return nil }
+func (unknownModel) Dims() Dims                                    { return Dims{} }
 
 func TestTrainRejectsMismatchedDims(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))

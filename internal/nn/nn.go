@@ -37,12 +37,17 @@ func (p *Param) initUniform(rng *rand.Rand, fanIn, fanOut int) {
 	}
 }
 
-// Layer is a differentiable module. Forward caches whatever Backward needs;
-// layers are therefore not safe for concurrent use, matching the
-// single-threaded training loop.
+// Layer is a differentiable module. Layers hold only immutable parameters;
+// all per-call state (activation caches, masks, workspaces) lives on the
+// caller's Context tape: Forward pushes one frame, Backward pops it.
+// Because the tape is a stack, a composite's Backward must visit its
+// layers in the exact reverse of its Forward order. Gradients accumulate
+// into the context (ctx.Grad), not into Param.Grad — see
+// Context.FlushGrads. One layer instance is safe for any number of
+// concurrent callers as long as each uses its own Context.
 type Layer interface {
-	Forward(x *tensor.Dense) *tensor.Dense
-	Backward(dout *tensor.Dense) *tensor.Dense
+	Forward(ctx *Context, x *tensor.Dense) *tensor.Dense
+	Backward(ctx *Context, dout *tensor.Dense) *tensor.Dense
 	Params() []*Param
 }
 
@@ -52,17 +57,17 @@ type Sequential struct {
 }
 
 // Forward runs all layers in order.
-func (s *Sequential) Forward(x *tensor.Dense) *tensor.Dense {
+func (s *Sequential) Forward(ctx *Context, x *tensor.Dense) *tensor.Dense {
 	for _, l := range s.Layers {
-		x = l.Forward(x)
+		x = l.Forward(ctx, x)
 	}
 	return x
 }
 
 // Backward runs all layers in reverse.
-func (s *Sequential) Backward(dout *tensor.Dense) *tensor.Dense {
+func (s *Sequential) Backward(ctx *Context, dout *tensor.Dense) *tensor.Dense {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		dout = s.Layers[i].Backward(dout)
+		dout = s.Layers[i].Backward(ctx, dout)
 	}
 	return dout
 }

@@ -12,18 +12,22 @@ import (
 // central finite differences with L = Σ out² / 2 (so dL/dout = out).
 func numGradCheck(t *testing.T, layer Layer, x *tensor.Dense, tol float64) {
 	t.Helper()
+	ctx := NewContext()
 	loss := func() float64 {
-		out := layer.Forward(x.Clone())
+		ctx.Reset()
+		out := layer.Forward(ctx, x.Clone())
 		s := 0.0
 		for _, v := range out.Data {
 			s += v * v / 2
 		}
 		return s
 	}
-	// Analytic gradients.
+	// Analytic gradients, flushed from the context into Param.Grad.
 	ZeroGrads(layer.Params())
-	out := layer.Forward(x.Clone())
-	dx := layer.Backward(out.Clone())
+	ctx.Reset()
+	out := layer.Forward(ctx, x.Clone())
+	dx := layer.Backward(ctx, out.Clone())
+	ctx.FlushGrads(layer.Params())
 
 	const eps = 1e-5
 	for i := range x.Data {
@@ -60,7 +64,7 @@ func TestDenseForward(t *testing.T) {
 	d := NewDense(rng, "fc", 2, 1)
 	d.W.W.Data[0], d.W.W.Data[1] = 2, 3
 	d.B.W.Data[0] = 1
-	y := d.Forward(tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	y := d.Forward(NewContext(), tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
 	if y.At(0, 0) != 1*2+2*3+1 || y.At(1, 0) != 3*2+4*3+1 {
 		t.Fatalf("dense forward = %v", y.Data)
 	}
@@ -78,14 +82,15 @@ func TestDenseGradients(t *testing.T) {
 
 func TestReLU(t *testing.T) {
 	r := &ReLU{}
-	y := r.Forward(tensor.FromSlice([]float64{-1, 2, 0, -3}, 1, 4))
+	ctx := NewContext()
+	y := r.Forward(ctx, tensor.FromSlice([]float64{-1, 2, 0, -3}, 1, 4))
 	want := []float64{0, 2, 0, 0}
 	for i, v := range want {
 		if y.Data[i] != v {
 			t.Fatalf("relu = %v", y.Data)
 		}
 	}
-	dx := r.Backward(tensor.FromSlice([]float64{5, 5, 5, 5}, 1, 4))
+	dx := r.Backward(ctx, tensor.FromSlice([]float64{5, 5, 5, 5}, 1, 4))
 	wantdx := []float64{0, 5, 5, 0} // zero passes gradient (x >= 0 convention)
 	for i, v := range wantdx {
 		if dx.Data[i] != v {
@@ -96,12 +101,13 @@ func TestReLU(t *testing.T) {
 
 func TestFlattenRoundTrip(t *testing.T) {
 	f := &Flatten{}
+	ctx := NewContext()
 	x := tensor.New(2, 3, 4)
-	y := f.Forward(x)
+	y := f.Forward(ctx, x)
 	if y.Shape[0] != 2 || y.Shape[1] != 12 {
 		t.Fatalf("flatten shape %v", y.Shape)
 	}
-	dx := f.Backward(tensor.New(2, 12))
+	dx := f.Backward(ctx, tensor.New(2, 12))
 	if len(dx.Shape) != 3 || dx.Shape[2] != 4 {
 		t.Fatalf("unflatten shape %v", dx.Shape)
 	}
@@ -117,7 +123,7 @@ func TestConv2DIdentityKernel(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float64(i)
 	}
-	y := c.Forward(x)
+	y := c.Forward(NewContext(), x)
 	for i := range x.Data {
 		if y.Data[i] != x.Data[i] {
 			t.Fatalf("identity conv mismatch at %d", i)
@@ -135,7 +141,7 @@ func TestConv2DShiftKernel(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float64(i + 1)
 	}
-	y := c.Forward(x)
+	y := c.Forward(NewContext(), x)
 	if y.At(0, 0, 0, 0) != 0 { // padding row
 		t.Fatalf("padded edge should be 0, got %v", y.At(0, 0, 0, 0))
 	}
@@ -345,18 +351,22 @@ func TestMLPLearnsLinearFunction(t *testing.T) {
 	opt := &SGD{LR: 0.01, Momentum: 0.9}
 	x := tensor.New(64, 2)
 	y := tensor.New(64, 1)
+	ctx := NewContext()
 	for epoch := 0; epoch < 300; epoch++ {
 		for i := 0; i < 64; i++ {
 			a, b := rng.Float64(), rng.Float64()
 			x.Data[2*i], x.Data[2*i+1] = a, b
 			y.Data[i] = a + 2*b
 		}
-		pred := net.Forward(x)
+		ctx.Reset()
+		pred := net.Forward(ctx, x)
 		_, grad := MSE{}.Compute(pred, y)
-		net.Backward(grad)
+		net.Backward(ctx, grad)
+		ctx.FlushGrads(net.Params())
 		opt.Step(net.Params())
 	}
-	pred := net.Forward(tensor.FromSlice([]float64{0.3, 0.4}, 1, 2))
+	ctx.Reset()
+	pred := net.Forward(ctx, tensor.FromSlice([]float64{0.3, 0.4}, 1, 2))
 	if math.Abs(pred.Data[0]-1.1) > 0.05 {
 		t.Fatalf("MLP failed to fit linear target: got %v, want 1.1", pred.Data[0])
 	}

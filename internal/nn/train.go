@@ -6,7 +6,6 @@ import (
 	"io"
 	"math"
 	"math/rand"
-	"sync"
 
 	"sinan/internal/tensor"
 )
@@ -66,24 +65,35 @@ func floorStd(s float64) float64 {
 
 // Apply returns normalised copies of the inputs.
 func (n *Normalizer) Apply(in Inputs, d Dims) Inputs {
-	out := Inputs{RH: in.RH.Clone(), LH: in.LH.Clone(), RC: in.RC.Clone()}
+	var out Inputs
+	n.ApplyInto(&out, in, d)
+	return out
+}
+
+// ApplyInto normalises in into dst, reusing dst's buffers when their
+// capacity allows — the allocation-free variant of Apply for reusable
+// inference contexts.
+func (n *Normalizer) ApplyInto(dst *Inputs, in Inputs, d Dims) {
+	dst.RH = tensor.Ensure(dst.RH, in.RH.Shape...)
+	dst.LH = tensor.Ensure(dst.LH, in.LH.Shape...)
+	dst.RC = tensor.Ensure(dst.RC, in.RC.Shape...)
 	b := in.Batch()
 	per := d.N * d.T
 	for i := 0; i < b; i++ {
 		for f := 0; f < d.F; f++ {
 			base := (i*d.F + f) * per
+			mean, std := n.RHMean[f], n.RHStd[f]
 			for j := 0; j < per; j++ {
-				out.RH.Data[base+j] = (out.RH.Data[base+j] - n.RHMean[f]) / n.RHStd[f]
+				dst.RH.Data[base+j] = (in.RH.Data[base+j] - mean) / std
 			}
 		}
 	}
-	for i := range out.LH.Data {
-		out.LH.Data[i] = (out.LH.Data[i] - n.LHMean) / n.LHStd
+	for i, v := range in.LH.Data {
+		dst.LH.Data[i] = (v - n.LHMean) / n.LHStd
 	}
-	for i := range out.RC.Data {
-		out.RC.Data[i] = (out.RC.Data[i] - n.RCMean) / n.RCStd
+	for i, v := range in.RC.Data {
+		dst.RC.Data[i] = (v - n.RCMean) / n.RCStd
 	}
-	return out
 }
 
 // TrainConfig controls Train and FineTune.
@@ -98,6 +108,11 @@ type TrainConfig struct {
 	Alpha       float64 // φ decay, e.g. 0.01
 	Seed        int64
 	Log         io.Writer // optional epoch-loss log
+	// Shards is the number of gradient shards each minibatch is split
+	// into. Shards are evaluated concurrently, each on its own Context,
+	// and reduced in shard order, so the resulting gradients — and the
+	// trained weights — are bit-identical for any GOMAXPROCS. 0 means 4.
+	Shards int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -119,6 +134,9 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	if c.Alpha == 0 {
 		c.Alpha = 0.01
 	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
 	return c
 }
 
@@ -126,25 +144,29 @@ func (c TrainConfig) withDefaults() TrainConfig {
 // in ~unit scale keeps gradients well-conditioned with Xavier init.
 const yScale = 0.01
 
+// minShard is the smallest per-shard batch worth fanning out; tiny batches
+// collapse to fewer shards (a deterministic function of batch size only).
+const minShard = 16
+
 // TrainedModel couples a regressor with its input normaliser and target
 // scaling, exposing millisecond-space prediction.
 //
-// A TrainedModel is safe for concurrent Predict/PredictWithLatent/RMSE
-// calls: the underlying layers cache activations during Forward, so the
-// model serialises its own inference internally. Concurrent callers on one
-// shared instance therefore do not race — but they also do not run in
-// parallel. Code that wants parallel inference (one managed run per core)
-// should give each goroutine its own instance via Clone.
+// After training a TrainedModel is an immutable value: all per-call state
+// lives on a caller-owned Context, so one shared instance serves any
+// number of goroutines — truly in parallel — via PredictCtx /
+// PredictWithLatentCtx (or the allocating Predict convenience wrappers).
+// Train and FineTune mutate the weights and must not run concurrently
+// with inference on the same instance; retraining flows hand a copy to
+// FineTune instead (see Clone).
 type TrainedModel struct {
 	Model Regressor
 	Norm  *Normalizer
-
-	mu sync.Mutex // guards the layers' forward/backward activation caches
 }
 
 // Clone deep-copies the trained model through its serialised form, so the
-// copy shares no activation buffers or weights with the original. Cheap
-// relative to any managed run (models are tens to hundreds of KB).
+// copy shares no weights with the original. Inference never needs a clone
+// (share the instance, give each goroutine a Context); Clone exists for
+// flows that fine-tune divergent weight copies from one base model.
 func (tm *TrainedModel) Clone() *TrainedModel {
 	var buf bytes.Buffer
 	if err := Save(&buf, tm); err != nil {
@@ -159,7 +181,9 @@ func (tm *TrainedModel) Clone() *TrainedModel {
 
 // Train fits a regressor on inputs (raw feature space) and targets in
 // milliseconds [B, M], returning the wrapped model. Training is plain SGD
-// with momentum, gradient clipping, and the φ-scaled squared loss.
+// with momentum, gradient clipping, and the φ-scaled squared loss; each
+// minibatch's gradient is computed data-parallel across cfg.Shards
+// contexts and reduced deterministically.
 func Train(model Regressor, in Inputs, yMS *tensor.Dense, cfg TrainConfig) *TrainedModel {
 	cfg = cfg.withDefaults()
 	d := model.Dims()
@@ -181,8 +205,6 @@ func (tm *TrainedModel) FineTune(in Inputs, yMS *tensor.Dense, cfg TrainConfig) 
 }
 
 func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
 	d := tm.Model.Dims()
 	norm := tm.Norm.Apply(in, d)
 	y := yMS.Clone()
@@ -199,6 +221,12 @@ func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
 	for i := range idx {
 		idx[i] = i
 	}
+	params := tm.Model.Params()
+	ctxs := make([]*Context, cfg.Shards)
+	for i := range ctxs {
+		ctxs[i] = NewContext()
+	}
+	losses := make([]float64, cfg.Shards)
 	yRow := y.Shape[1]
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
@@ -210,17 +238,41 @@ func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
 				e = n
 			}
 			bidx := idx[s:e]
-			bin := norm.Slice(bidx)
-			by := tensor.New(len(bidx), yRow)
-			for k, i := range bidx {
-				copy(by.Data[k*yRow:(k+1)*yRow], y.Data[i*yRow:(i+1)*yRow])
+			bn := len(bidx)
+			// Shard count depends only on the batch size, never on the
+			// machine, so shard boundaries (and FP summation order) are
+			// reproducible everywhere.
+			shards := cfg.Shards
+			if maxS := (bn + minShard - 1) / minShard; shards > maxS {
+				shards = maxS
 			}
-			pred := tm.Model.Forward(bin)
-			l, grad := loss.Compute(pred, by)
-			tm.Model.Backward(grad)
-			ClipGrads(tm.Model.Params(), cfg.ClipNorm)
-			opt.Step(tm.Model.Params())
-			total += l
+			// Each shard computes loss and gradients on its own context;
+			// per-shard results are scaled by the shard's sample fraction
+			// so their ordered sum equals the full-batch mean gradient.
+			tensor.ParallelFor(shards, func(a, b int) {
+				for si := a; si < b; si++ {
+					lo, hi := si*bn/shards, (si+1)*bn/shards
+					sidx := bidx[lo:hi]
+					bin := norm.Slice(sidx)
+					by := tensor.New(len(sidx), yRow)
+					for k, i := range sidx {
+						copy(by.Data[k*yRow:(k+1)*yRow], y.Data[i*yRow:(i+1)*yRow])
+					}
+					ctx := ctxs[si]
+					pred := tm.Model.Forward(ctx, bin)
+					l, grad := loss.Compute(pred, by)
+					w := float64(len(sidx)) / float64(bn)
+					tensor.ScaleInPlace(grad, w)
+					tm.Model.Backward(ctx, grad)
+					losses[si] = l * w
+				}
+			})
+			for si := 0; si < shards; si++ {
+				ctxs[si].FlushGrads(params)
+				total += losses[si]
+			}
+			ClipGrads(params, cfg.ClipNorm)
+			opt.Step(params)
 			batches++
 		}
 		if cfg.Log != nil {
@@ -229,65 +281,83 @@ func (tm *TrainedModel) fit(in Inputs, yMS *tensor.Dense, cfg TrainConfig) {
 	}
 }
 
-// Predict returns latency predictions in milliseconds for raw-space inputs,
-// evaluated in batches to bound memory.
+// predictChunk bounds per-evaluation working-set size on the predict path.
+const predictChunk = 512
+
+// Predict returns latency predictions in milliseconds for raw-space inputs.
+// It allocates a fresh Context per call and is therefore trivially safe
+// for concurrent use; hot paths should hold a Context and call PredictCtx.
 func (tm *TrainedModel) Predict(in Inputs) *tensor.Dense {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
-	d := tm.Model.Dims()
-	norm := tm.Norm.Apply(in, d)
-	n := in.Batch()
-	out := tensor.New(n, d.M)
-	const chunk = 512
-	for s := 0; s < n; s += chunk {
-		e := s + chunk
-		if e > n {
-			e = n
-		}
-		idx := make([]int, e-s)
-		for i := range idx {
-			idx[i] = s + i
-		}
-		pred := tm.Model.Forward(norm.Slice(idx))
-		copy(out.Data[s*d.M:e*d.M], pred.Data)
-	}
-	tensor.ScaleInPlace(out, 1/yScale)
+	return tm.PredictCtx(NewContext(), in)
+}
+
+// PredictCtx is Predict evaluating on a caller-owned context: after the
+// first call with a given batch shape, the steady state allocates nothing.
+// The returned tensor is owned by ctx and valid until its next use.
+func (tm *TrainedModel) PredictCtx(ctx *Context, in Inputs) *tensor.Dense {
+	out, _ := tm.predict(ctx, in, false)
 	return out
 }
 
 // PredictWithLatent returns millisecond predictions plus the latent Lf for
-// models that expose one (LatencyCNN); latent is nil otherwise.
+// models that expose one (LatencyCNN); latent is nil otherwise. Fresh
+// context per call, like Predict.
 func (tm *TrainedModel) PredictWithLatent(in Inputs) (*tensor.Dense, *tensor.Dense) {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
+	return tm.PredictWithLatentCtx(NewContext(), in)
+}
+
+// PredictWithLatentCtx is PredictWithLatent on a caller-owned context.
+// Both returned tensors are owned by ctx and valid until its next use.
+func (tm *TrainedModel) PredictWithLatentCtx(ctx *Context, in Inputs) (*tensor.Dense, *tensor.Dense) {
+	return tm.predict(ctx, in, true)
+}
+
+func (tm *TrainedModel) predict(ctx *Context, in Inputs, wantLatent bool) (*tensor.Dense, *tensor.Dense) {
 	d := tm.Model.Dims()
-	norm := tm.Norm.Apply(in, d)
+	tm.Norm.ApplyInto(&ctx.norm, in, d)
 	n := in.Batch()
-	out := tensor.New(n, d.M)
+	ctx.out = tensor.Ensure(ctx.out, n, d.M)
+	cnn, isCNN := tm.Model.(*LatencyCNN)
+	wantLatent = wantLatent && isCNN
 	var latent *tensor.Dense
-	cnn, hasLatent := tm.Model.(*LatencyCNN)
-	if hasLatent {
-		latent = tensor.New(n, cnn.Latent)
+	if wantLatent {
+		ctx.latOut = tensor.Ensure(ctx.latOut, n, cnn.Latent)
+		latent = ctx.latOut
 	}
-	const chunk = 512
-	for s := 0; s < n; s += chunk {
-		e := s + chunk
+	for s := 0; s < n; s += predictChunk {
+		e := s + predictChunk
 		if e > n {
 			e = n
 		}
-		idx := make([]int, e-s)
-		for i := range idx {
-			idx[i] = s + i
-		}
-		pred := tm.Model.Forward(norm.Slice(idx))
-		copy(out.Data[s*d.M:e*d.M], pred.Data)
-		if hasLatent {
-			lf := cnn.LastLatent()
-			copy(latent.Data[s*cnn.Latent:e*cnn.Latent], lf.Data)
+		pred := tm.Model.Forward(ctx, ctx.chunk(s, e))
+		copy(ctx.out.Data[s*d.M:e*d.M], pred.Data)
+		if wantLatent {
+			copy(latent.Data[s*cnn.Latent:e*cnn.Latent], ctx.Latent.Data)
 		}
 	}
-	tensor.ScaleInPlace(out, 1/yScale)
-	return out, latent
+	tensor.ScaleInPlace(ctx.out, 1/yScale)
+	return ctx.out, latent
+}
+
+// chunk returns row-range views [s, e) of the context's normalised inputs,
+// reusing the context's view headers.
+func (c *Context) chunk(s, e int) Inputs {
+	slice := func(i int, src *tensor.Dense) *tensor.Dense {
+		if c.views[i] == nil {
+			c.views[i] = &tensor.Dense{}
+		}
+		v := c.views[i]
+		row := src.Size() / src.Shape[0]
+		v.Data = src.Data[s*row : e*row]
+		if cap(v.Shape) < len(src.Shape) {
+			v.Shape = make([]int, len(src.Shape))
+		}
+		v.Shape = v.Shape[:len(src.Shape)]
+		copy(v.Shape, src.Shape)
+		v.Shape[0] = e - s
+		return v
+	}
+	return Inputs{RH: slice(0, c.norm.RH), LH: slice(1, c.norm.LH), RC: slice(2, c.norm.RC)}
 }
 
 // RMSE evaluates root-mean-squared error (ms) of the model on a dataset.

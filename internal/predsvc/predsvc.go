@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 
 	"sinan/internal/core"
 	"sinan/internal/nn"
@@ -37,28 +38,30 @@ type MetaReply struct {
 	Meta core.ModelMeta
 }
 
-// Service is the RPC-exported model host.
+// Service is the RPC-exported model host. Concurrent Predict RPCs run in
+// parallel: a trained model is immutable, so the only shared mutable state
+// is a pool of prediction contexts (one checked out per in-flight request)
+// and the atomically-swapped model pointer.
 type Service struct {
-	mu    sync.Mutex
-	model *core.HybridModel
+	model atomic.Pointer[core.HybridModel]
+	ctxs  sync.Pool
 }
 
 // NewService wraps a hybrid model for serving.
-func NewService(m *core.HybridModel) *Service { return &Service{model: m} }
+func NewService(m *core.HybridModel) *Service {
+	s := &Service{}
+	s.model.Store(m)
+	return s
+}
 
 // Swap atomically replaces the served model (incremental retraining pushes
-// a fine-tuned model without restarting the service).
-func (s *Service) Swap(m *core.HybridModel) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.model = m
-}
+// a fine-tuned model without restarting the service). In-flight requests
+// finish on the model they loaded; new requests see the new one.
+func (s *Service) Swap(m *core.HybridModel) { s.model.Store(m) }
 
 // Predict implements the RPC method.
 func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
-	s.mu.Lock()
-	m := s.model
-	s.mu.Unlock()
+	m := s.model.Load()
 	d := m.D
 	if args.Batch <= 0 {
 		return fmt.Errorf("predsvc: non-positive batch %d", args.Batch)
@@ -74,18 +77,24 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 		LH: tensor.FromSlice(args.LH, args.Batch, d.T, d.M),
 		RC: tensor.FromSlice(args.RC, args.Batch, d.N),
 	}
-	pred, pviol := m.PredictBatch(in)
-	reply.Lat = pred.Data
+	ctx, _ := s.ctxs.Get().(*core.PredictContext)
+	if ctx == nil {
+		ctx = core.NewPredictContext()
+	}
+	pred, pviol := m.PredictBatch(ctx, in)
+	// Copy out of the context before returning it to the pool: net/rpc
+	// encodes the reply after this method returns, by which time another
+	// request may be overwriting the context's buffers.
+	reply.Lat = append([]float64(nil), pred.Data...)
 	reply.M = d.M
-	reply.PViol = pviol
+	reply.PViol = append([]float64(nil), pviol...)
+	s.ctxs.Put(ctx)
 	return nil
 }
 
 // Meta implements the RPC method.
 func (s *Service) Meta(_ *struct{}, reply *MetaReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	reply.Meta = s.model.Meta()
+	reply.Meta = s.model.Load().Meta()
 	return nil
 }
 
@@ -150,11 +159,12 @@ func (c *Client) Close() error { return c.rpc.Close() }
 // Meta implements core.Predictor.
 func (c *Client) Meta() core.ModelMeta { return c.meta }
 
-// PredictBatch implements core.Predictor by delegating to the service. RPC
-// failures surface as panics: the scheduler has no useful recourse if its
-// model host is gone, and the caller's safety net (deploying without a
-// model is not allowed) should treat this as a crash.
-func (c *Client) PredictBatch(in nn.Inputs) (*tensor.Dense, []float64) {
+// PredictBatch implements core.Predictor by delegating to the service; the
+// prediction context is unused (per-call state lives on the server, which
+// keeps its own pool). RPC failures surface as panics: the scheduler has no
+// useful recourse if its model host is gone, and the caller's safety net
+// (deploying without a model is not allowed) should treat this as a crash.
+func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
 	args := &PredictArgs{
 		RH:    in.RH.Data,
 		LH:    in.LH.Data,

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 
 	"sinan/internal/boost"
@@ -84,8 +85,8 @@ func TestRemotePredictionMatchesLocal(t *testing.T) {
 	}
 
 	in := mkBatch(m.D, 7)
-	wantLat, wantPV := m.PredictBatch(in)
-	gotLat, gotPV := c.PredictBatch(in)
+	wantLat, wantPV := m.PredictBatch(nil, in)
+	gotLat, gotPV := c.PredictBatch(nil, in)
 	for i := range wantLat.Data {
 		if math.Abs(wantLat.Data[i]-gotLat.Data[i]) > 1e-9 {
 			t.Fatalf("latency mismatch at %d: %v vs %v", i, gotLat.Data[i], wantLat.Data[i])
@@ -152,6 +153,61 @@ func TestClientIsSchedulerPredictor(t *testing.T) {
 	if p.Meta().QoSMS != 200 {
 		t.Fatal("predictor interface broken")
 	}
+}
+
+// Concurrent Predict calls through the shared service — exercising the
+// context pool and the atomic model pointer — must all produce the serial
+// answer. Under -race this doubles as the service's thread-safety proof.
+func TestServiceConcurrentPredict(t *testing.T) {
+	m := tinyHybrid(t)
+	svc := NewService(m)
+	in := mkBatch(m.D, 7)
+	args := &PredictArgs{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: 7}
+	var want PredictReply
+	if err := svc.Predict(args, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				var reply PredictReply
+				if err := svc.Predict(args, &reply); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range want.Lat {
+					if reply.Lat[i] != want.Lat[i] {
+						t.Errorf("concurrent reply diverges at %d", i)
+						return
+					}
+				}
+				for i := range want.PViol {
+					if reply.PViol[i] != want.PViol[i] {
+						t.Errorf("concurrent pviol diverges at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Concurrent metadata reads hit the atomic model pointer as well.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 20; iter++ {
+			var mr MetaReply
+			if err := svc.Meta(&struct{}{}, &mr); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }
 
 func TestDialFailure(t *testing.T) {

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// Im2Col unfolds x [B, C, H, W] into dst [C*K*K, B*OH*OW] for a stride-1
+// convolution with symmetric zero padding pad, where OH = H+2*pad-K+1 and
+// OW likewise. Row r = (c*K+ki)*K+kj of dst holds, for every output
+// position (n, i, j) at column (n*OH+i)*OW+j, the input value
+// x[n, c, i+ki-pad, j+kj-pad] (zero outside the image). With this layout a
+// convolution with weights reshaped to [Cout, C*K*K] is a single matmul.
+// Every entry of dst is written, including the padding zeros, so dst can be
+// a reused workspace buffer.
+func Im2Col(dst, x *Dense, k, pad int) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: im2col input shape %v", x.Shape))
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h+2*pad-k+1, w+2*pad-k+1
+	ckk, cols := c*k*k, b*oh*ow
+	if len(dst.Shape) != 2 || dst.Shape[0] != ckk || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: im2col dst %v, want [%d %d]", dst.Shape, ckk, cols))
+	}
+	if parallelizable(ckk * cols) {
+		ParallelFor(ckk, func(start, end int) { im2colRows(dst, x, k, pad, start, end) })
+		return
+	}
+	im2colRows(dst, x, k, pad, 0, ckk)
+}
+
+func im2colRows(dst, x *Dense, k, pad, start, end int) {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h+2*pad-k+1, w+2*pad-k+1
+	cols := b * oh * ow
+	for r := start; r < end; r++ {
+		ci := r / (k * k)
+		ki := (r / k) % k
+		kj := r % k
+		row := dst.Data[r*cols : (r+1)*cols]
+		for n := 0; n < b; n++ {
+			for i := 0; i < oh; i++ {
+				out := row[(n*oh+i)*ow : (n*oh+i+1)*ow]
+				ii := i + ki - pad
+				if ii < 0 || ii >= h {
+					for j := range out {
+						out[j] = 0
+					}
+					continue
+				}
+				xrow := x.Data[((n*c+ci)*h+ii)*w : ((n*c+ci)*h+ii+1)*w]
+				for j := 0; j < ow; j++ {
+					jj := j + kj - pad
+					if jj < 0 || jj >= w {
+						out[j] = 0
+					} else {
+						out[j] = xrow[jj]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im folds cols [C*K*K, B*OH*OW] back into dx [B, C, H, W], summing the
+// contributions of overlapping patches — the exact adjoint of Im2Col, used
+// for the convolution input gradient. dx is zeroed first. Parallelism is
+// per input channel: rows of cols with the same c write disjoint channels
+// of dx, so the scatter-add stays race-free and deterministic.
+func Col2Im(dx, cols *Dense, k, pad int) {
+	if len(dx.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: col2im output shape %v", dx.Shape))
+	}
+	b, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	oh, ow := h+2*pad-k+1, w+2*pad-k+1
+	ckk, ncols := c*k*k, b*oh*ow
+	if len(cols.Shape) != 2 || cols.Shape[0] != ckk || cols.Shape[1] != ncols {
+		panic(fmt.Sprintf("tensor: col2im cols %v, want [%d %d]", cols.Shape, ckk, ncols))
+	}
+	if parallelizable(ckk * ncols) {
+		ParallelFor(c, func(cs, ce int) { col2imChannels(dx, cols, k, pad, cs, ce) })
+		return
+	}
+	col2imChannels(dx, cols, k, pad, 0, c)
+}
+
+func col2imChannels(dx, cols *Dense, k, pad, cs, ce int) {
+	b, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	oh, ow := h+2*pad-k+1, w+2*pad-k+1
+	ncols := b * oh * ow
+	for ci := cs; ci < ce; ci++ {
+		for n := 0; n < b; n++ {
+			base := (n*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				dx.Data[base+i] = 0
+			}
+		}
+		for ki := 0; ki < k; ki++ {
+			for kj := 0; kj < k; kj++ {
+				r := (ci*k+ki)*k + kj
+				row := cols.Data[r*ncols : (r+1)*ncols]
+				for n := 0; n < b; n++ {
+					for i := 0; i < oh; i++ {
+						ii := i + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						src := row[(n*oh+i)*ow : (n*oh+i+1)*ow]
+						drow := dx.Data[((n*c+ci)*h+ii)*w : ((n*c+ci)*h+ii+1)*w]
+						for j := 0; j < ow; j++ {
+							jj := j + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							drow[jj] += src[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,14 @@ import (
 // fan out across goroutines.
 const parallelThreshold = 1 << 18
 
+// parallelizable reports whether a kernel of the given multiply count should
+// take the fan-out path. With a single worker the answer is always no — the
+// serial kernel does the same work without spawning goroutines or building
+// the dispatch closure, keeping single-threaded callers allocation-free.
+func parallelizable(work int) bool {
+	return work >= parallelThreshold && runtime.GOMAXPROCS(0) > 1
+}
+
 // ParallelFor runs fn(start, end) over [0, n) split into roughly equal
 // chunks across GOMAXPROCS goroutines. Each index is covered exactly once;
 // chunk boundaries are deterministic so floating-point reductions performed

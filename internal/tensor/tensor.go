@@ -93,47 +93,112 @@ func (t *Dense) offset(idx []int) int {
 	return off
 }
 
+// Ensure returns t resized to the given shape, reusing t's backing storage
+// when its capacity allows. The contents of the returned tensor are
+// unspecified (callers must overwrite them). A nil t allocates fresh. This
+// is the buffer-reuse primitive the nn workspace code is built on: after
+// the first call with a given shape, subsequent calls are allocation-free.
+func Ensure(t *Dense, shape ...int) *Dense {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			// Split out so shape does not escape through the format call:
+			// Ensure call sites build their shape lists on the stack.
+			panicNonPositiveDim(s)
+		}
+		n *= s
+	}
+	if t == nil {
+		t = &Dense{}
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+	}
+	t.Data = t.Data[:n]
+	if cap(t.Shape) < len(shape) {
+		t.Shape = make([]int, len(shape))
+	}
+	t.Shape = t.Shape[:len(shape)]
+	copy(t.Shape, shape)
+	return t
+}
+
+func panicNonPositiveDim(s int) {
+	panic(fmt.Sprintf("tensor: non-positive dim %d", s))
+}
+
 // MatMul computes C = A·B for 2-D tensors [m,k]·[k,n] → [m,n].
 func MatMul(a, b *Dense) *Dense {
+	c := New(a.Shape[0], b.Shape[1])
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into dst, which must be [m,n]. dst is
+// overwritten; it must not alias a or b.
+func MatMulInto(dst, a, b *Dense) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shapes %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	rows := func(start, end int) {
-		for i := start; i < end; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := c.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					crow[j] += av * brow[j]
-				}
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul dst %v for %v × %v", dst.Shape, a.Shape, b.Shape))
+	}
+	// The closure is built only on the parallel path, so small (serial)
+	// products stay allocation-free.
+	if parallelizable(m * k * n) {
+		ParallelFor(m, func(start, end int) { matMulRows(dst, a, b, k, n, start, end) })
+		return
+	}
+	matMulRows(dst, a, b, k, n, 0, m)
+}
+
+func matMulRows(dst, a, b *Dense, k, n, start, end int) {
+	for i := start; i < end; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
 			}
 		}
 	}
-	if m*k*n >= parallelThreshold {
-		ParallelFor(m, rows)
-	} else {
-		rows(0, m)
-	}
-	return c
 }
 
 // MatMulTransA computes C = Aᵀ·B for [k,m]ᵀ·[k,n] → [m,n].
 func MatMulTransA(a, b *Dense) *Dense {
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulTransAInto(c, a, b)
+	return c
+}
+
+// MatMulTransAInto computes C = Aᵀ·B into dst, which must be [m,n]. dst is
+// overwritten; it must not alias a or b. Above the parallel threshold it
+// materialises Aᵀ (one allocation) to reuse the row-parallel kernel — that
+// path only triggers for training-sized products.
+func MatMulTransAInto(dst, a, b *Dense) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulᵀa shapes %v × %v", a.Shape, b.Shape))
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	if k*m*n >= parallelThreshold {
-		return MatMul(Transpose(a), b)
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulᵀa dst %v for %v × %v", dst.Shape, a.Shape, b.Shape))
 	}
-	c := New(m, n)
+	if parallelizable(k * m * n) {
+		MatMulInto(dst, Transpose(a), b)
+		return
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for p := 0; p < k; p++ {
 		arow := a.Data[p*m : (p+1)*m]
 		brow := b.Data[p*n : (p+1)*n]
@@ -142,42 +207,51 @@ func MatMulTransA(a, b *Dense) *Dense {
 			if av == 0 {
 				continue
 			}
-			crow := c.Data[i*n : (i+1)*n]
+			crow := dst.Data[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
 				crow[j] += av * brow[j]
 			}
 		}
 	}
-	return c
 }
 
 // MatMulTransB computes C = A·Bᵀ for [m,k]·[n,k]ᵀ → [m,n].
 func MatMulTransB(a, b *Dense) *Dense {
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes C = A·Bᵀ into dst, which must be [m,n]. dst is
+// overwritten; it must not alias a or b.
+func MatMulTransBInto(dst, a, b *Dense) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulᵀb shapes %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	c := New(m, n)
-	rows := func(start, end int) {
-		for i := start; i < end; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				crow[j] = s
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulᵀb dst %v for %v × %v", dst.Shape, a.Shape, b.Shape))
+	}
+	if parallelizable(m * k * n) {
+		ParallelFor(m, func(start, end int) { matMulTransBRows(dst, a, b, k, n, start, end) })
+		return
+	}
+	matMulTransBRows(dst, a, b, k, n, 0, m)
+}
+
+func matMulTransBRows(dst, a, b *Dense, k, n, start, end int) {
+	for i := start; i < end; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
 			}
+			crow[j] = s
 		}
 	}
-	if m*k*n >= parallelThreshold {
-		ParallelFor(m, rows)
-	} else {
-		rows(0, m)
-	}
-	return c
 }
 
 // AddInPlace adds b into a elementwise.
@@ -220,15 +294,35 @@ func Concat(ts ...*Dense) *Dense {
 		total += t.Shape[1]
 	}
 	out := New(b, total)
+	ConcatInto(out, ts...)
+	return out
+}
+
+// ConcatInto concatenates 2-D tensors [B, d_i] along axis 1 into dst, which
+// must be [B, Σd_i].
+func ConcatInto(dst *Dense, ts ...*Dense) {
+	if len(ts) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	b := ts[0].Shape[0]
+	total := 0
+	for _, t := range ts {
+		if len(t.Shape) != 2 || t.Shape[0] != b {
+			panic("tensor: concat requires 2-D tensors with equal batch")
+		}
+		total += t.Shape[1]
+	}
+	if len(dst.Shape) != 2 || dst.Shape[0] != b || dst.Shape[1] != total {
+		panic(fmt.Sprintf("tensor: concat dst %v, want [%d %d]", dst.Shape, b, total))
+	}
 	for i := 0; i < b; i++ {
 		off := i * total
 		for _, t := range ts {
 			d := t.Shape[1]
-			copy(out.Data[off:off+d], t.Data[i*d:(i+1)*d])
+			copy(dst.Data[off:off+d], t.Data[i*d:(i+1)*d])
 			off += d
 		}
 	}
-	return out
 }
 
 // SplitGrad splits a concatenated gradient [B, Σd_i] back into parts with
@@ -246,12 +340,31 @@ func SplitGrad(g *Dense, dims ...int) []*Dense {
 	for k, d := range dims {
 		outs[k] = New(b, d)
 	}
+	SplitInto(g, outs...)
+	return outs
+}
+
+// SplitInto splits a concatenated gradient [B, Σd_i] into the pre-shaped
+// 2-D tensors outs (widths taken from each out's shape), inverting Concat
+// without allocating.
+func SplitInto(g *Dense, outs ...*Dense) {
+	b := g.Shape[0]
+	total := 0
+	for _, o := range outs {
+		if len(o.Shape) != 2 || o.Shape[0] != b {
+			panic("tensor: split requires 2-D outputs with equal batch")
+		}
+		total += o.Shape[1]
+	}
+	if len(g.Shape) != 2 || g.Shape[1] != total {
+		panic("tensor: split width mismatch")
+	}
 	for i := 0; i < b; i++ {
 		off := i * total
-		for k, d := range dims {
-			copy(outs[k].Data[i*d:(i+1)*d], g.Data[off:off+d])
+		for _, o := range outs {
+			d := o.Shape[1]
+			copy(o.Data[i*d:(i+1)*d], g.Data[off:off+d])
 			off += d
 		}
 	}
-	return outs
 }

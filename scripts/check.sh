@@ -11,6 +11,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -22,5 +30,8 @@ go test ./... "$@"
 
 echo "== go test -race (short) =="
 go test -race -short -timeout 30m ./... "$@"
+
+echo "== bench smoke =="
+go test -run='^$' -bench='ConvForward|PredictBatch' -benchtime=1x
 
 echo "OK"

@@ -153,8 +153,9 @@ func Scheduler(app *App, m *Model) Policy {
 }
 
 // SchedulerFactory returns a PolicyFactory that builds a fresh Sinan
-// scheduler — with its own clone of the model — for every run, which makes
-// it safe to use across the runs of a parallel Suite.
+// scheduler for every run, which makes it safe to use across the runs of a
+// parallel Suite. All runs share the model — a trained model is immutable —
+// while each scheduler owns its prediction context and trust state.
 func SchedulerFactory(app *App, m *Model) PolicyFactory {
 	return core.SchedulerFactory(app, m, core.SchedulerOptions{})
 }
