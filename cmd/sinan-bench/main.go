@@ -4,6 +4,7 @@
 //
 //	sinan-bench -exp table2          # one experiment
 //	sinan-bench -exp fig11 -full     # full-size sweep
+//	sinan-bench -exp chaos           # robustness under injected faults
 //	sinan-bench -exp all             # everything, quick mode
 //	sinan-bench -list                # available experiments
 package main
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4, chaos) or 'all'")
 		full    = flag.Bool("full", false, "full-size runs (default: quick mode)")
 		list    = flag.Bool("list", false, "list available experiments")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")

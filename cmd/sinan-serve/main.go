@@ -33,15 +33,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
-	l, _, err := predsvc.ListenAndServe(*addr, m)
+	srv, _, err := predsvc.ListenAndServe(*addr, m)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "serving %s on %s (QoS %.0fms, pd=%.3f pu=%.3f)\n",
-		*model, l.Addr(), m.QoSMS, m.Pd, m.Pu)
+		*model, srv.Addr(), m.QoSMS, m.Pd, m.Pu)
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	l.Close()
+	// Graceful: stop accepting, drain in-flight predictions, then exit.
+	srv.Close()
 }

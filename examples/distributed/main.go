@@ -26,16 +26,18 @@ func main() {
 	fmt.Printf("model ready: CNN val RMSE %.1fms\n", rep.ValRMSE)
 
 	// Host the model on a prediction service (ephemeral port).
-	l, svc, err := predsvc.ListenAndServe("127.0.0.1:0", model)
+	srv, svc, err := predsvc.ListenAndServe("127.0.0.1:0", model)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
-	fmt.Printf("prediction service listening on %s\n", l.Addr())
+	defer srv.Close() // graceful: drains in-flight predictions
+	fmt.Printf("prediction service listening on %s\n", srv.Addr())
 
 	// The scheduler dials the service and uses the remote model through the
-	// same Predictor interface as a local one.
-	client, err := predsvc.Dial(l.Addr().String())
+	// same Predictor interface as a local one. The client retries, redials,
+	// and circuit-breaks on RPC failure; if the service stays down the
+	// scheduler degrades to its conservative fallback instead of crashing.
+	client, err := predsvc.Dial(srv.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -75,6 +75,11 @@ func (a *AutoScale) Decide(s runner.State) runner.Decision {
 	}
 	alloc := append([]float64(nil), s.Alloc...)
 	for i, st := range s.Stats {
+		if s.StatsOK != nil && i < len(s.StatsOK) && !s.StatsOK[i] {
+			// Node agent silent this interval: a zeroed stats row reads as 0%
+			// utilization and would trigger a bogus scale-down, so hold.
+			continue
+		}
 		if s.Time-a.lastAction[i] < a.Cooldown {
 			continue
 		}

@@ -113,6 +113,7 @@ type Tier struct {
 	index int // position in the cluster's tier order
 
 	cpuLimit float64
+	alive    float64 // fraction of replica capacity alive (1 = healthy)
 
 	active     jobHeap
 	vwork      float64 // virtual work: ∫ per-job rate dt
@@ -147,6 +148,7 @@ func newTier(eng *sim.Engine, rng *sim.RNG, cfg TierConfig, index int) *Tier {
 		rng:      rng,
 		index:    index,
 		cpuLimit: cfg.InitCPU,
+		alive:    1,
 		slots:    cfg.ConnsPerReplica * cfg.Replicas,
 	}
 	if cfg.StallInterval > 0 {
@@ -194,13 +196,48 @@ func (t *Tier) SetCPULimit(cores float64) {
 	t.reschedule()
 }
 
+// effCPU returns the CPU capacity actually available: the cgroup limit
+// scaled by the fraction of replicas alive. The limit itself is what the
+// node agent reports — a crashed replica does not change the cgroup
+// configuration, only the capacity behind it.
+func (t *Tier) effCPU() float64 { return t.cpuLimit * t.alive }
+
+// effSlots returns the connection-slot pool surviving replica crashes.
+func (t *Tier) effSlots() int { return int(float64(t.slots) * t.alive) }
+
+// AliveFraction returns the fraction of replica capacity currently alive.
+func (t *Tier) AliveFraction() float64 { return t.alive }
+
+// SetAliveFraction models replica crashes and restarts: f is the fraction
+// of the tier's replica capacity that is up (1 = healthy, 0.5 = half the
+// replicas crashed, 0 = tier entirely down). Both the effective CPU
+// capacity and the connection-slot pool shrink proportionally; queued
+// requests are admitted again as capacity returns. Crashes compose with the
+// log-sync stall machinery — a stalled tier that also lost replicas resumes
+// at the reduced capacity.
+func (t *Tier) SetAliveFraction(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	if f == t.alive {
+		return
+	}
+	t.advance()
+	t.alive = f
+	t.reschedule()
+	t.pumpWaiters()
+}
+
 // rate returns the per-job service rate in core-seconds per second.
 func (t *Tier) rate() float64 {
 	n := len(t.active)
 	if n == 0 || t.stalled {
 		return 0
 	}
-	return math.Min(1, t.cpuLimit/float64(n))
+	return math.Min(1, t.effCPU()/float64(n))
 }
 
 // advance applies elapsed processor-sharing progress up to the current time.
@@ -220,7 +257,7 @@ func (t *Tier) advance() {
 		return
 	}
 	t.vwork += t.rate() * dt
-	t.busyCPU += math.Min(t.cpuLimit, float64(n)) * dt
+	t.busyCPU += math.Min(t.effCPU(), float64(n)) * dt
 }
 
 // reschedule recomputes the next completion event after any change to the
@@ -271,7 +308,7 @@ func (t *Tier) execWork(cpuSeconds float64, done func()) {
 // acquireSlot obtains a connection slot, queueing if the pool is saturated.
 // It reports false if the admission queue is full and the request is dropped.
 func (t *Tier) acquireSlot(granted func()) bool {
-	if t.inUse < t.slots {
+	if t.inUse < t.effSlots() {
 		t.inUse++
 		granted()
 		return true
@@ -289,7 +326,16 @@ func (t *Tier) acquireSlot(granted func()) bool {
 
 // releaseSlot frees a connection slot and admits the next waiter, if any.
 func (t *Tier) releaseSlot() {
-	if t.qhead < len(t.waitq) {
+	t.inUse--
+	t.pumpWaiters()
+}
+
+// pumpWaiters admits queued slot acquisitions while capacity allows. It is
+// the single admission point, so a slot pool shrunk by a replica crash
+// drains naturally (releases outnumber admissions until inUse fits again)
+// and a restored pool re-admits the queue.
+func (t *Tier) pumpWaiters() {
+	for t.qhead < len(t.waitq) && t.inUse < t.effSlots() {
 		next := t.waitq[t.qhead]
 		t.waitq[t.qhead] = nil
 		t.qhead++
@@ -298,10 +344,9 @@ func (t *Tier) releaseSlot() {
 			t.waitq = append(t.waitq[:0], t.waitq[t.qhead:]...)
 			t.qhead = 0
 		}
+		t.inUse++
 		next()
-		return
 	}
-	t.inUse--
 }
 
 // stall begins a log-sync pause; service resumes after the stall duration.

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sinan/internal/nn"
+	"sinan/internal/tensor"
+)
+
+// flakyModel wraps the deterministic fakeModel with a switchable failure
+// mode, standing in for a prediction service that goes down mid-run.
+type flakyModel struct {
+	inner *fakeModel
+	fail  bool
+	calls int
+}
+
+var errHostDown = errors.New("model host down")
+
+func (f *flakyModel) Meta() ModelMeta { return f.inner.Meta() }
+
+func (f *flakyModel) PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
+	f.calls++
+	if f.fail {
+		return nil, nil, errHostDown
+	}
+	return f.inner.PredictBatch(ctx, in)
+}
+
+func degradedTestScheduler(t *testing.T) (*flakyModel, *Scheduler, []float64) {
+	t.Helper()
+	app := testApp()
+	d := nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}
+	m := &flakyModel{inner: &fakeModel{d: d, qos: 200, rmse: 10, needCores: 5}}
+	s := NewScheduler(app, m, SchedulerOptions{})
+	alloc := mkAlloc(app, 4)
+	for i := 0; i < d.T+1; i++ { // fill history; model-driven from here on
+		dec := s.Decide(stateFor(app, 20, alloc, 0.3))
+		alloc = dec.Alloc
+	}
+	if s.Degraded() {
+		t.Fatal("healthy warmup must not degrade")
+	}
+	return m, s, alloc
+}
+
+// A predictor outage mid-run must flip the scheduler into degraded mode
+// (flagged on every decision), never reclaim capacity while blind, and
+// recover to model-driven operation on the first successful probe.
+func TestSchedulerDegradesOnPredictorErrorAndRecovers(t *testing.T) {
+	app := testApp()
+	m, s, alloc := degradedTestScheduler(t)
+
+	m.fail = true
+	for i := 0; i < 5; i++ {
+		prev := append([]float64(nil), alloc...)
+		dec := s.Decide(stateFor(app, 20, alloc, 0.2))
+		if !dec.Degraded || !s.Degraded() {
+			t.Fatalf("interval %d: scheduler should be degraded", i)
+		}
+		for j := range dec.Alloc {
+			if dec.Alloc[j] < prev[j] {
+				t.Fatalf("degraded fallback scaled tier %d down: %v → %v", j, prev[j], dec.Alloc[j])
+			}
+		}
+		alloc = dec.Alloc
+	}
+	if s.PredictErrors != 5 || s.DegradedIntervals != 5 {
+		t.Fatalf("counters: errors=%d degraded=%d, want 5/5", s.PredictErrors, s.DegradedIntervals)
+	}
+
+	// High utilisation while degraded must provoke a conservative upscale.
+	before := total(alloc)
+	dec := s.Decide(stateFor(app, 20, alloc, 0.7))
+	if total(dec.Alloc) <= before {
+		t.Fatalf("degraded fallback should upscale hot tiers: %v → %v", before, total(dec.Alloc))
+	}
+	alloc = dec.Alloc
+
+	m.fail = false
+	dec = s.Decide(stateFor(app, 20, alloc, 0.3))
+	if dec.Degraded || s.Degraded() {
+		t.Fatal("successful model query should end degraded mode")
+	}
+	if s.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", s.Recoveries)
+	}
+	// Post-recovery grace: no reclamation until the victim window expires.
+	preTotal := total(alloc)
+	for i := 0; i < s.Opts.VictimWindow-1; i++ {
+		dec = s.Decide(stateFor(app, 20, alloc, 0.3))
+		if total(dec.Alloc) < preTotal {
+			t.Fatalf("scale-down %d intervals after recovery (window %d)", i+1, s.Opts.VictimWindow)
+		}
+		alloc = dec.Alloc
+		preTotal = total(alloc)
+	}
+}
+
+// Violations observed while the model is away still trigger the emergency
+// ramp — degraded mode weakens the optimiser, never the safety net.
+func TestDegradedViolationTriggersEmergencyRamp(t *testing.T) {
+	app := testApp()
+	m, s, alloc := degradedTestScheduler(t)
+	m.fail = true
+	// Enter degraded mode on a quiet interval, then observe a violation.
+	dec := s.Decide(stateFor(app, 20, alloc, 0.2))
+	alloc = dec.Alloc
+	dec = s.Decide(stateFor(app, 400, alloc, 0.9))
+	if !dec.Degraded || dec.PViol != 1 {
+		t.Fatalf("degraded violation decision: %+v", dec)
+	}
+	if total(dec.Alloc) <= total(alloc) {
+		t.Fatalf("emergency ramp did not add capacity: %v → %v", total(alloc), total(dec.Alloc))
+	}
+	for i := range dec.Alloc {
+		boosted := alloc[i]*2 + 0.5
+		if boosted > s.maxCPU[i] {
+			boosted = s.maxCPU[i]
+		}
+		if dec.Alloc[i] < boosted-1e-9 {
+			t.Fatalf("tier %d ramped to %v, want %v", i, dec.Alloc[i], boosted)
+		}
+	}
+}
+
+// Missing tier stats are imputed with the last good reading (CPU limit
+// refreshed from the in-force allocation) and tracked for staleness.
+func TestImputeStatsHoldsLastValue(t *testing.T) {
+	app := testApp()
+	_, s, alloc := degradedTestScheduler(t)
+
+	healthy := stateFor(app, 20, alloc, 0.4)
+	s.imputeStats(healthy) // records lastGood
+	want := healthy.Stats[0]
+
+	st := stateFor(app, 20, alloc, 0.4)
+	st.StatsOK = make([]bool, len(st.Stats))
+	for i := range st.StatsOK {
+		st.StatsOK[i] = i != 0
+	}
+	st.Stats[0] = want // zero it the way the injector would
+	st.Stats[0].CPUUsage, st.Stats[0].RSS = 0, 0
+	zeroed := st.Stats[0]
+	out := s.imputeStats(st)
+	if out.Stats[0].CPUUsage != want.CPUUsage || out.Stats[0].RSS != want.RSS {
+		t.Fatalf("tier 0 not imputed: got %+v (zeroed %+v, want %+v)", out.Stats[0], zeroed, want)
+	}
+	if out.Stats[0].CPULimit != alloc[0] {
+		t.Fatalf("imputed CPU limit %v, want in-force alloc %v", out.Stats[0].CPULimit, alloc[0])
+	}
+	if s.staleFor[0] != 1 || !s.missing[0] {
+		t.Fatalf("staleness not tracked: staleFor=%d missing=%v", s.staleFor[0], s.missing[0])
+	}
+	// A healthy report clears the staleness state.
+	s.imputeStats(stateFor(app, 20, alloc, 0.4))
+	if s.staleFor[0] != 0 || s.missing[0] {
+		t.Fatal("healthy report should clear staleness")
+	}
+}
+
+// Past the staleness cap, hold-last-value stops being trustworthy and the
+// bias pushes the silent tier up instead.
+func TestStaleBiasUpscalesSilentTier(t *testing.T) {
+	app := testApp()
+	_, s, _ := degradedTestScheduler(t)
+	s.staleFor[0] = s.Opts.StaleCap + 1
+	alloc := mkAlloc(app, 2)
+	out := s.biasStale(append([]float64(nil), alloc...))
+	if out[0] <= alloc[0] {
+		t.Fatalf("stale tier not biased up: %v", out[0])
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] != alloc[i] {
+			t.Fatalf("fresh tier %d moved: %v", i, out[i])
+		}
+	}
+}
+
+// While a tier's stats are missing, candidate enumeration must not propose
+// shrinking it: scale-down decisions need evidence.
+func TestNoShrinkCandidatesForMissingTier(t *testing.T) {
+	app := testApp()
+	_, s, alloc := degradedTestScheduler(t)
+	st := stateFor(app, 20, alloc, 0.2)
+	s.missing[1] = true
+	for _, c := range s.candidates(st) {
+		if c.alloc[1] < st.Alloc[1]-1e-9 {
+			t.Fatalf("candidate shrinks missing tier 1: %v < %v", c.alloc[1], st.Alloc[1])
+		}
+	}
+}

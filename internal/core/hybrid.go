@@ -242,8 +242,10 @@ func (m *HybridModel) Meta() ModelMeta {
 // inputs must already be assembled as a batch with identical RH/LH rows and
 // per-candidate RC rows. It returns per-candidate predicted latencies (ms,
 // [B, M]) and violation probabilities, both owned by ctx and valid until
-// its next use. A nil ctx allocates a throwaway context.
-func (m *HybridModel) PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
+// its next use. A nil ctx allocates a throwaway context. The error is
+// always nil for an in-process model — it exists so remote predictors
+// (predsvc.Client) can surface RPC failures through the same interface.
+func (m *HybridModel) PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
 	if ctx == nil {
 		ctx = NewPredictContext()
 	}
@@ -262,7 +264,7 @@ func (m *HybridModel) PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.D
 		btRowInto(row, latent, in, m.D, i)
 		pv[i] = m.Viol.PredictProb(row)
 	}
-	return pred, pv
+	return pred, pv, nil
 }
 
 // RebuildHybrid constructs a hybrid model around an existing (typically

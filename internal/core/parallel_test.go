@@ -71,7 +71,7 @@ func hybridQueryBatch(d nn.Dims, b int) nn.Inputs {
 func TestSharedHybridConcurrentPredictBitIdentical(t *testing.T) {
 	m := tinyHotelHybrid(t)
 	in := hybridQueryBatch(m.D, 50)
-	wantLat, wantPV := m.PredictBatch(nil, in)
+	wantLat, wantPV, _ := m.PredictBatch(nil, in)
 	wantLat = wantLat.Clone()
 	wantPV = append([]float64(nil), wantPV...)
 
@@ -83,7 +83,7 @@ func TestSharedHybridConcurrentPredictBitIdentical(t *testing.T) {
 			defer wg.Done()
 			ctx := NewPredictContext()
 			for iter := 0; iter < 5; iter++ {
-				lat, pv := m.PredictBatch(ctx, in)
+				lat, pv, _ := m.PredictBatch(ctx, in)
 				for i := range wantLat.Data {
 					if lat.Data[i] != wantLat.Data[i] {
 						t.Errorf("latency diverges at %d: %v vs %v", i, lat.Data[i], wantLat.Data[i])

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sinan/internal/apps"
+	"sinan/internal/cluster"
 	"sinan/internal/dataset"
 	"sinan/internal/metrics"
 	"sinan/internal/nn"
@@ -29,6 +30,11 @@ type SchedulerOptions struct {
 	// BatchKs are the k values tried for "Scale Down Batch" (k least
 	// utilized tiers); values above N−1 are clamped.
 	BatchKs []int
+	// StaleCap bounds hold-last-value imputation of missing tier stats: a
+	// tier whose node agent has been silent for more than StaleCap
+	// consecutive intervals is biased toward upscale instead of trusted at
+	// its last reading (flying blind must fail safe).
+	StaleCap int
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -45,6 +51,9 @@ func (o SchedulerOptions) withDefaults() SchedulerOptions {
 	}
 	if o.BatchKs == nil {
 		o.BatchKs = []int{2, 4, 8, 16}
+	}
+	if o.StaleCap == 0 {
+		o.StaleCap = 5
 	}
 	return o
 }
@@ -72,9 +81,12 @@ const (
 // candidate evaluation plus the metadata its filters need. The context
 // carries all per-caller evaluation state (implementations must accept
 // nil and allocate a throwaway). *HybridModel is the production
-// implementation; tests substitute fakes.
+// implementation; predsvc.Client is the remote one; tests substitute
+// fakes. A non-nil error means the model path is unavailable (RPC
+// failure, open circuit breaker, injected outage) — the scheduler then
+// falls back to its built-in conservative policy rather than crashing.
 type Predictor interface {
-	PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64)
+	PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error)
 	Meta() ModelMeta
 }
 
@@ -102,6 +114,19 @@ type Scheduler struct {
 	cooldown          int // intervals to hold after an emergency upscale
 	Mispredictions    int
 
+	// Degraded-mode state: when the predictor errors (model host down,
+	// breaker open, injected outage) the scheduler runs its conservative
+	// built-in fallback until a model query succeeds again. lastGood /
+	// staleFor back hold-last-value imputation of missing tier stats.
+	degraded          bool
+	noDownFor         int // post-recovery intervals with reclamation suppressed
+	lastGood          []cluster.Stats
+	staleFor          []int
+	missing           []bool
+	PredictErrors     int // model queries that returned an error
+	DegradedIntervals int // intervals decided by the fallback policy
+	Recoveries        int // degraded → model-driven transitions
+
 	// Per-scheduler model-evaluation state: the prediction context and the
 	// reused candidate-batch input tensors. These make the steady-state
 	// decide path allocation-free on the model side while the shared
@@ -128,6 +153,9 @@ func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler 
 		statHist: metrics.NewHistory[[]float64](meta.D.T),
 		latHist:  metrics.NewHistory[[]float64](meta.D.T),
 		downAge:  make([]int, len(app.Tiers)),
+		lastGood: make([]cluster.Stats, len(app.Tiers)),
+		staleFor: make([]int, len(app.Tiers)),
+		missing:  make([]bool, len(app.Tiers)),
 		predCtx:  NewPredictContext(),
 	}
 	for _, tc := range app.Tiers {
@@ -166,6 +194,10 @@ func (s *Scheduler) Name() string { return "Sinan" }
 // Decide implements runner.Policy.
 func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	d := s.meta.D
+	st = s.imputeStats(st)
+	if s.noDownFor > 0 {
+		s.noDownFor--
+	}
 
 	// Safety mechanism: a QoS violation the model did not predict triggers
 	// an immediate upscale of all tiers and erodes trust (Sec. 4.3).
@@ -211,7 +243,24 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	}
 
 	cands := s.candidates(st)
-	pred, pviol := s.predictCandidates(cands, d)
+	pred, pviol, err := s.predictCandidates(cands, d)
+	if err != nil {
+		// Model path unavailable: degrade to the conservative built-in
+		// policy instead of crashing. Every interval retries the model (the
+		// query doubles as the recovery probe — a resilient client's
+		// circuit breaker makes the retry cheap while the host stays down).
+		s.PredictErrors++
+		return s.fallbackDecision(st, violated)
+	}
+	if s.degraded {
+		// A successful probe ends degraded mode. Re-enter model-driven
+		// operation conservatively: suppress reclamation for a victim
+		// window so the model decides from refreshed history before any
+		// capacity is taken away.
+		s.degraded = false
+		s.Recoveries++
+		s.noDownFor = s.Opts.VictimWindow
+	}
 
 	chosen, ok := s.selectCandidate(st, cands, pred, pviol)
 	if !ok {
@@ -232,7 +281,91 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	p99 := pred.At(chosen, d.M-1)
 	s.lastPredP99 = p99
 	s.lastPredValid = true
-	return runner.Decision{Alloc: c.alloc, PredP99MS: p99, PViol: pviol[chosen]}
+	return runner.Decision{Alloc: s.biasStale(c.alloc), PredP99MS: p99, PViol: pviol[chosen]}
+}
+
+// Degraded reports whether the scheduler is currently running its fallback
+// policy because the model path is unavailable.
+func (s *Scheduler) Degraded() bool { return s.degraded }
+
+// imputeStats fills in missing per-tier stats (node-agent dropouts flagged
+// by st.StatsOK) with the last good reading, tracking per-tier staleness.
+// The CPU limit channel is taken from the in-force allocation, which the
+// scheduler knows without the agent.
+func (s *Scheduler) imputeStats(st runner.State) runner.State {
+	if st.StatsOK == nil {
+		for i := range s.staleFor {
+			s.staleFor[i] = 0
+			s.missing[i] = false
+		}
+		copy(s.lastGood, st.Stats)
+		return st
+	}
+	for i := range st.Stats {
+		if st.StatsOK[i] {
+			s.lastGood[i] = st.Stats[i]
+			s.staleFor[i] = 0
+			s.missing[i] = false
+			continue
+		}
+		s.staleFor[i]++
+		s.missing[i] = true
+		st.Stats[i] = s.lastGood[i]
+		if i < len(st.Alloc) {
+			st.Stats[i].CPULimit = st.Alloc[i]
+		}
+	}
+	return st
+}
+
+// fallbackDecision is the degraded-mode policy: an AutoScaleCons-shaped
+// step scaler that holds or scales up, never down — matching the paper's
+// observation that only the conservative autoscaler reliably meets QoS
+// without a model. Observed violations still trigger the emergency ramp.
+func (s *Scheduler) fallbackDecision(st runner.State, violated bool) runner.Decision {
+	s.degraded = true
+	s.DegradedIntervals++
+	s.lastPredValid = false
+	if violated {
+		return runner.Decision{Alloc: s.biasStale(s.boosted(st.Alloc)), PViol: 1, Degraded: true}
+	}
+	alloc := append([]float64(nil), st.Alloc...)
+	for i := range alloc {
+		util := st.Stats[i].CPUUsage / math.Max(alloc[i], 1e-9)
+		switch {
+		case util >= 0.5:
+			alloc[i] = s.clampTier(i, math.Max(alloc[i]*1.3, alloc[i]+0.2))
+		case util >= 0.3:
+			alloc[i] = s.clampTier(i, math.Max(alloc[i]*1.1, alloc[i]+0.1))
+		}
+	}
+	return runner.Decision{Alloc: s.biasStale(alloc), Degraded: true}
+}
+
+// biasStale upscales tiers whose stats have been missing beyond the
+// staleness cap: hold-last-value is only trustworthy briefly, after which
+// the safe assumption is that the silent tier needs more capacity, not
+// less. The slice is modified in place (every caller owns its slice).
+func (s *Scheduler) biasStale(alloc []float64) []float64 {
+	for i := range alloc {
+		if s.staleFor[i] > s.Opts.StaleCap {
+			alloc[i] = s.clampTier(i, math.Max(alloc[i]*1.1, alloc[i]+0.2))
+		}
+	}
+	return alloc
+}
+
+// clampTier quantises an allocation to the 0.1-core grid within the tier's
+// bounds (the same normalisation candidate enumeration applies).
+func (s *Scheduler) clampTier(i int, v float64) float64 {
+	v = math.Round(v*10) / 10
+	if v < s.minCPU[i] {
+		v = s.minCPU[i]
+	}
+	if v > s.maxCPU[i] {
+		v = s.maxCPU[i]
+	}
+	return v
 }
 
 func (s *Scheduler) pushHistory(st runner.State, d nn.Dims) {
@@ -315,6 +448,10 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 
 	canShrink := func(i int, next float64) bool {
 		if next >= st.Alloc[i] {
+			return false
+		}
+		// No fresh stats from this tier's agent: never reclaim blind.
+		if s.missing[i] {
 			return false
 		}
 		// Utilization guard against queue build-up.
@@ -436,7 +573,7 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 
 // predictCandidates evaluates all candidates in one batched model query,
 // reusing the scheduler's input tensors and prediction context.
-func (s *Scheduler) predictCandidates(cands []candidate, d nn.Dims) (*tensor.Dense, []float64) {
+func (s *Scheduler) predictCandidates(cands []candidate, d nn.Dims) (*tensor.Dense, []float64, error) {
 	b := len(cands)
 	s.rhRow, s.lhRow = dataset.WindowInputsInto(s.rhRow, s.lhRow, d, s.statHist, s.latHist)
 	rhRow, lhRow := s.rhRow, s.lhRow
@@ -469,8 +606,9 @@ func (s *Scheduler) selectCandidate(st runner.State, cands []candidate, pred *te
 		pd, pu = 1, 1
 	}
 	// While the tail is already past the target, disable reclamations so
-	// the system recovers as fast as possible.
-	hot := st.Perc.P99() > s.meta.QoSMS
+	// the system recovers as fast as possible; likewise right after a
+	// degraded-mode recovery, while the model re-earns its authority.
+	hot := st.Perc.P99() > s.meta.QoSMS || s.noDownFor > 0
 	// Predicted-latency acceptance bound (Sec. 4.3): QoS minus the
 	// validation error. Reclamations additionally keep a minimum headroom of
 	// 30% of QoS — the model's smooth response surface understates how sharp

@@ -27,7 +27,7 @@ func (f *chaosModel) next() float64 {
 	return float64(f.seed>>11) / float64(1<<53)
 }
 
-func (f *chaosModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
+func (f *chaosModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
 	b := in.Batch()
 	pred := tensor.New(b, f.d.M)
 	pv := make([]float64, b)
@@ -38,7 +38,7 @@ func (f *chaosModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dens
 		}
 		pv[i] = f.next()
 	}
-	return pred, pv
+	return pred, pv, nil
 }
 
 // Property: whatever the model says and whatever the observed state, the
@@ -144,7 +144,7 @@ func (p *paranoidModel) Meta() ModelMeta {
 	return ModelMeta{D: p.d, QoSMS: p.qos, RMSEValid: 10, Pd: 0.2, Pu: 0.4}
 }
 
-func (p *paranoidModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
+func (p *paranoidModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
 	b := in.Batch()
 	pred := tensor.New(b, p.d.M)
 	pv := make([]float64, b)
@@ -154,7 +154,7 @@ func (p *paranoidModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.D
 		}
 		pv[i] = 0.99
 	}
-	return pred, pv
+	return pred, pv, nil
 }
 
 var _ runner.Policy = (*Scheduler)(nil)

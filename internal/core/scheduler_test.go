@@ -24,7 +24,7 @@ func (f *fakeModel) Meta() ModelMeta {
 	return ModelMeta{D: f.d, QoSMS: f.qos, RMSEValid: f.rmse, Pd: 0.25, Pu: 0.5}
 }
 
-func (f *fakeModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
+func (f *fakeModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
 	b := in.Batch()
 	pred := tensor.New(b, f.d.M)
 	pv := make([]float64, b)
@@ -46,7 +46,7 @@ func (f *fakeModel) PredictBatch(_ *PredictContext, in nn.Inputs) (*tensor.Dense
 			pv[i] = 0.01
 		}
 	}
-	return pred, pv
+	return pred, pv, nil
 }
 
 func testApp() *apps.App { return apps.NewHotelReservation() }

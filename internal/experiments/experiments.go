@@ -305,6 +305,7 @@ func All() []Experiment {
 		{"fig16", "Fig. 16 — Redis log-sync pathology", Fig16},
 		{"ablation", "Ablations — loss function & violation-predictor features", Ablation},
 		{"table4", "Table 4 — explainability rankings", Table4},
+		{"chaos", "Chaos — QoS under predictor/agent/replica faults", Chaos},
 	}
 }
 

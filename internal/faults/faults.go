@@ -1,0 +1,277 @@
+// Package faults injects failures into managed runs. A Plan is a
+// declarative, seed-reproducible schedule of fault events on the simulated
+// clock — predictor outages and slowdowns, per-tier metric-agent dropouts,
+// replica crashes, and RPC error blips. An Injector executes one plan
+// against one run: it binds to the run's private engine and cluster
+// (satisfying runner.FaultInjector), masks node-agent reports, and wraps
+// the scheduler's Predictor so model calls fail during the scheduled
+// windows. Everything is driven by the sim clock and a seeded RNG, so a
+// faulted run is exactly as reproducible as a healthy one: same plan, same
+// seed, bit-identical results regardless of harness worker count.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sinan/internal/cluster"
+	"sinan/internal/core"
+	"sinan/internal/nn"
+	"sinan/internal/sim"
+	"sinan/internal/tensor"
+)
+
+// Kind enumerates the fault classes the injector can schedule.
+type Kind int
+
+const (
+	// PredictorOutage makes every model call fail for the window: the
+	// prediction service is down, the circuit breaker is open, the network
+	// is partitioned — from the scheduler's seat they are the same event.
+	PredictorOutage Kind = iota
+	// PredictorSlow adds Value seconds of inference latency. Calls whose
+	// added latency reaches the caller's deadline fail with a timeout; the
+	// sub-deadline case only shows up in counters, since decision intervals
+	// are much longer than healthy inference.
+	PredictorSlow
+	// MetricDropout silences tier Tier's node agent: its stats row is
+	// zeroed and flagged missing, so the policy must impute.
+	MetricDropout
+	// ReplicaCrash kills a fraction of tier Tier's replicas: alive capacity
+	// drops to Value (0..1) at Start and restores to 1 at End, shrinking
+	// both effective CPU and connection slots for the window.
+	ReplicaCrash
+	// RPCBlips makes each model call fail independently with probability
+	// Value for the window — flaky-network noise rather than a hard outage.
+	RPCBlips
+)
+
+// String returns the kind's mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case PredictorOutage:
+		return "predictor-outage"
+	case PredictorSlow:
+		return "predictor-slow"
+	case MetricDropout:
+		return "metric-dropout"
+	case ReplicaCrash:
+		return "replica-crash"
+	case RPCBlips:
+		return "rpc-blips"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one fault window on the simulated clock. Fault state applies
+// from Start (inclusive) until End, when it reverts to healthy. Windows of
+// the same kind (and, where applicable, tier) must not overlap.
+type Event struct {
+	Kind  Kind
+	Start float64 // simulated seconds
+	End   float64
+	Tier  int     // MetricDropout, ReplicaCrash: target tier index
+	Value float64 // Slow: added seconds; Crash: alive fraction; Blips: P(fail)
+}
+
+// Plan is a reproducible fault schedule. Seed feeds the injector's private
+// RNG (used only by RPCBlips); Events hold the windows.
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// Standard builds the canonical chaos schedule used by the chaos
+// experiment: one hard predictor outage, one slowdown past the client
+// deadline, one metric dropout, one half-capacity replica crash, and one
+// flaky-RPC window, spread across a run of the given duration. Window
+// placement and tier choices derive from seed, so two calls with equal
+// arguments return identical plans.
+func Standard(seed int64, duration float64, numTiers int) Plan {
+	rng := sim.NewRNG(seed)
+	// Each fault gets its own slot in [0.15, 0.95) of the run so windows of
+	// different kinds never overlap and the warmup stays clean.
+	slot := func(i int, frac float64) (float64, float64) {
+		slotW := 0.8 * duration / 5
+		base := 0.15*duration + float64(i)*slotW
+		w := frac * slotW
+		start := base + rng.Float64()*(slotW-w)
+		return roundS(start), roundS(start + w)
+	}
+	tier := func() int {
+		if numTiers <= 0 {
+			return 0
+		}
+		return rng.Intn(numTiers)
+	}
+	var ev []Event
+	s, e := slot(0, 0.5)
+	ev = append(ev, Event{Kind: PredictorOutage, Start: s, End: e})
+	s, e = slot(1, 0.4)
+	ev = append(ev, Event{Kind: MetricDropout, Start: s, End: e, Tier: tier()})
+	s, e = slot(2, 0.4)
+	ev = append(ev, Event{Kind: PredictorSlow, Start: s, End: e, Value: 2.0})
+	s, e = slot(3, 0.4)
+	ev = append(ev, Event{Kind: ReplicaCrash, Start: s, End: e, Tier: tier(), Value: 0.5})
+	s, e = slot(4, 0.5)
+	ev = append(ev, Event{Kind: RPCBlips, Start: s, End: e, Value: 0.5})
+	return Plan{Seed: seed, Events: ev}
+}
+
+// roundS keeps window edges on millisecond boundaries so plans print
+// cleanly and float noise cannot creep into comparisons.
+func roundS(t float64) float64 {
+	return float64(int64(t*1000+0.5)) / 1000
+}
+
+// Injected-failure sentinels, distinguishable by errors.Is.
+var (
+	ErrOutage  = errors.New("faults: predictor outage")
+	ErrTimeout = errors.New("faults: predictor deadline exceeded")
+	ErrBlip    = errors.New("faults: injected RPC failure")
+)
+
+// Counters tallies what an injector actually did, for experiment tables
+// and assertions.
+type Counters struct {
+	PredictorErrors int // model calls failed (outage + timeout + blips)
+	SlowCalls       int // calls delayed but under the deadline
+	DroppedReports  int // tier-intervals with a silenced node agent
+	CrashWindows    int // replica-crash windows applied
+}
+
+// Injector executes one Plan against one managed run. It implements
+// runner.FaultInjector and additionally wraps a core.Predictor. An
+// injector is single-run state, exactly like a dataset.Recorder: bind it
+// to one engine, never share it across specs.
+type Injector struct {
+	plan Plan
+	rng  *sim.RNG
+
+	// Deadline a model call is assumed to carry; a PredictorSlow window
+	// whose added latency reaches it turns calls into timeouts. Matches
+	// predsvc's default call timeout.
+	Deadline float64
+
+	outage  bool
+	slow    float64
+	blipP   float64
+	dropped []bool
+
+	n Counters
+}
+
+// New returns an injector for the plan. Window sanity (ordering, bounds)
+// is checked on Bind.
+func New(plan Plan) *Injector {
+	return &Injector{
+		plan:     plan,
+		rng:      sim.NewRNG(plan.Seed ^ 0x5ad5ad),
+		Deadline: 1.0,
+	}
+}
+
+// Counters returns the injector's tallies so far.
+func (in *Injector) Counters() Counters { return in.n }
+
+// Bind schedules the plan's windows on the run's engine. Implements
+// runner.FaultInjector; called by the runner once, before the first
+// decision interval.
+func (in *Injector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
+	in.dropped = make([]bool, cl.NumTiers())
+	// Schedule in time order for reproducible event sequence numbers.
+	evs := append([]Event(nil), in.plan.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+	for _, e := range evs {
+		e := e
+		if e.End < e.Start {
+			panic(fmt.Sprintf("faults: %s window ends %.3f before start %.3f", e.Kind, e.End, e.Start))
+		}
+		switch e.Kind {
+		case PredictorOutage:
+			eng.At(e.Start, func() { in.outage = true })
+			eng.At(e.End, func() { in.outage = false })
+		case PredictorSlow:
+			eng.At(e.Start, func() { in.slow = e.Value })
+			eng.At(e.End, func() { in.slow = 0 })
+		case MetricDropout:
+			if e.Tier < 0 || e.Tier >= cl.NumTiers() {
+				panic(fmt.Sprintf("faults: metric-dropout tier %d out of range", e.Tier))
+			}
+			eng.At(e.Start, func() { in.dropped[e.Tier] = true })
+			eng.At(e.End, func() { in.dropped[e.Tier] = false })
+		case ReplicaCrash:
+			if e.Tier < 0 || e.Tier >= cl.NumTiers() {
+				panic(fmt.Sprintf("faults: replica-crash tier %d out of range", e.Tier))
+			}
+			t := cl.Tiers()[e.Tier]
+			eng.At(e.Start, func() {
+				in.n.CrashWindows++
+				t.SetAliveFraction(e.Value)
+			})
+			eng.At(e.End, func() { t.SetAliveFraction(1) })
+		case RPCBlips:
+			eng.At(e.Start, func() { in.blipP = e.Value })
+			eng.At(e.End, func() { in.blipP = 0 })
+		default:
+			panic(fmt.Sprintf("faults: unknown kind %d", int(e.Kind)))
+		}
+	}
+}
+
+// MaskStats zeroes the stats rows of currently-dropped tiers and returns
+// the per-tier ok-mask, or nil when every agent reported. Implements
+// runner.FaultInjector.
+func (in *Injector) MaskStats(stats []cluster.Stats) []bool {
+	var ok []bool
+	for i := range stats {
+		if i < len(in.dropped) && in.dropped[i] {
+			if ok == nil {
+				ok = make([]bool, len(stats))
+				for j := range ok {
+					ok[j] = true
+				}
+			}
+			ok[i] = false
+			stats[i] = cluster.Stats{}
+			in.n.DroppedReports++
+		}
+	}
+	return ok
+}
+
+// Predictor wraps a model so its calls fail during the injector's
+// predictor-fault windows. The wrapper consults the injector's current
+// state (toggled by the engine events Bind scheduled), so it must only be
+// used inside the same run the injector is bound to.
+func (in *Injector) Predictor(base core.Predictor) core.Predictor {
+	return &faultyPredictor{in: in, base: base}
+}
+
+type faultyPredictor struct {
+	in   *Injector
+	base core.Predictor
+}
+
+func (f *faultyPredictor) Meta() core.ModelMeta { return f.base.Meta() }
+
+func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
+	inj := f.in
+	switch {
+	case inj.outage:
+		inj.n.PredictorErrors++
+		return nil, nil, ErrOutage
+	case inj.slow >= inj.Deadline:
+		inj.n.PredictorErrors++
+		return nil, nil, ErrTimeout
+	case inj.slow > 0:
+		inj.n.SlowCalls++
+	}
+	if inj.blipP > 0 && inj.rng.Float64() < inj.blipP {
+		inj.n.PredictorErrors++
+		return nil, nil, ErrBlip
+	}
+	return f.base.PredictBatch(ctx, in)
+}

@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sinan/internal/apps"
+	"sinan/internal/cluster"
+	"sinan/internal/core"
+	"sinan/internal/nn"
+	"sinan/internal/sim"
+	"sinan/internal/tensor"
+)
+
+// okPredictor is a trivially-healthy base model for wrapper tests.
+type okPredictor struct{ calls int }
+
+func (p *okPredictor) Meta() core.ModelMeta { return core.ModelMeta{QoSMS: 200} }
+
+func (p *okPredictor) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
+	p.calls++
+	return tensor.New(1, 1), []float64{0}, nil
+}
+
+func testCluster() (*sim.Engine, *cluster.Cluster) {
+	eng := &sim.Engine{}
+	app := apps.NewHotelReservation()
+	return eng, cluster.New(eng, sim.NewRNG(1), app.Tiers)
+}
+
+func TestStandardPlanDeterministicAndBounded(t *testing.T) {
+	a := Standard(7, 600, 5)
+	b := Standard(7, 600, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	c := Standard(8, 600, 5)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds should move the windows")
+	}
+	if len(a.Events) != 5 {
+		t.Fatalf("standard plan has %d events, want 5", len(a.Events))
+	}
+	kinds := map[Kind]bool{}
+	for _, e := range a.Events {
+		kinds[e.Kind] = true
+		if e.Start < 0 || e.End > 600 || e.End <= e.Start {
+			t.Fatalf("window out of bounds: %+v", e)
+		}
+		if (e.Kind == MetricDropout || e.Kind == ReplicaCrash) && (e.Tier < 0 || e.Tier >= 5) {
+			t.Fatalf("tier out of range: %+v", e)
+		}
+	}
+	for _, k := range []Kind{PredictorOutage, PredictorSlow, MetricDropout, ReplicaCrash, RPCBlips} {
+		if !kinds[k] {
+			t.Fatalf("standard plan missing %v", k)
+		}
+	}
+}
+
+func TestPredictorOutageWindow(t *testing.T) {
+	eng, cl := testCluster()
+	inj := New(Plan{Seed: 1, Events: []Event{
+		{Kind: PredictorOutage, Start: 10, End: 20},
+	}})
+	inj.Bind(eng, cl)
+	base := &okPredictor{}
+	p := inj.Predictor(base)
+
+	eng.Run(5)
+	if _, _, err := p.PredictBatch(nil, nn.Inputs{}); err != nil {
+		t.Fatalf("before outage: %v", err)
+	}
+	eng.Run(15)
+	if _, _, err := p.PredictBatch(nil, nn.Inputs{}); !errors.Is(err, ErrOutage) {
+		t.Fatalf("during outage want ErrOutage, got %v", err)
+	}
+	eng.Run(25)
+	if _, _, err := p.PredictBatch(nil, nn.Inputs{}); err != nil {
+		t.Fatalf("after outage: %v", err)
+	}
+	if base.calls != 2 {
+		t.Fatalf("base reached %d times, want 2 (outage short-circuits)", base.calls)
+	}
+	if inj.Counters().PredictorErrors != 1 {
+		t.Fatalf("counters: %+v", inj.Counters())
+	}
+}
+
+func TestPredictorSlowdownVsDeadline(t *testing.T) {
+	eng, cl := testCluster()
+	inj := New(Plan{Seed: 1, Events: []Event{
+		{Kind: PredictorSlow, Start: 10, End: 20, Value: 2.0},  // past deadline
+		{Kind: PredictorSlow, Start: 30, End: 40, Value: 0.25}, // under it
+	}})
+	inj.Bind(eng, cl)
+	p := inj.Predictor(&okPredictor{})
+
+	eng.Run(15)
+	if _, _, err := p.PredictBatch(nil, nn.Inputs{}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("2s added latency vs 1s deadline should time out, got %v", err)
+	}
+	eng.Run(35)
+	if _, _, err := p.PredictBatch(nil, nn.Inputs{}); err != nil {
+		t.Fatalf("sub-deadline slowdown should still answer: %v", err)
+	}
+	n := inj.Counters()
+	if n.PredictorErrors != 1 || n.SlowCalls != 1 {
+		t.Fatalf("counters: %+v", n)
+	}
+}
+
+func TestMetricDropoutMasksStats(t *testing.T) {
+	eng, cl := testCluster()
+	inj := New(Plan{Seed: 1, Events: []Event{
+		{Kind: MetricDropout, Start: 10, End: 20, Tier: 2},
+	}})
+	inj.Bind(eng, cl)
+
+	mk := func() []cluster.Stats {
+		st := make([]cluster.Stats, cl.NumTiers())
+		for i := range st {
+			st[i] = cluster.Stats{CPUUsage: 1 + float64(i), CPULimit: 4}
+		}
+		return st
+	}
+	eng.Run(5)
+	if ok := inj.MaskStats(mk()); ok != nil {
+		t.Fatalf("no dropout active, mask should be nil: %v", ok)
+	}
+	eng.Run(15)
+	st := mk()
+	ok := inj.MaskStats(st)
+	if ok == nil || ok[2] || !ok[0] {
+		t.Fatalf("tier 2 should be masked: %v", ok)
+	}
+	if st[2] != (cluster.Stats{}) {
+		t.Fatalf("masked row not zeroed: %+v", st[2])
+	}
+	if st[0].CPUUsage != 1 {
+		t.Fatal("healthy rows must be untouched")
+	}
+	eng.Run(25)
+	if ok := inj.MaskStats(mk()); ok != nil {
+		t.Fatalf("dropout over, mask should be nil: %v", ok)
+	}
+	if inj.Counters().DroppedReports != 1 {
+		t.Fatalf("counters: %+v", inj.Counters())
+	}
+}
+
+func TestReplicaCrashWindowDrivesAliveFraction(t *testing.T) {
+	eng, cl := testCluster()
+	inj := New(Plan{Seed: 1, Events: []Event{
+		{Kind: ReplicaCrash, Start: 10, End: 20, Tier: 1, Value: 0.5},
+	}})
+	inj.Bind(eng, cl)
+	tier := cl.Tiers()[1]
+
+	eng.Run(5)
+	if tier.AliveFraction() != 1 {
+		t.Fatal("tier should start healthy")
+	}
+	eng.Run(15)
+	if tier.AliveFraction() != 0.5 {
+		t.Fatalf("alive = %v during crash window, want 0.5", tier.AliveFraction())
+	}
+	eng.Run(25)
+	if tier.AliveFraction() != 1 {
+		t.Fatalf("alive = %v after restart, want 1", tier.AliveFraction())
+	}
+	if inj.Counters().CrashWindows != 1 {
+		t.Fatalf("counters: %+v", inj.Counters())
+	}
+}
+
+func TestRPCBlipsFailSomeCallsDeterministically(t *testing.T) {
+	run := func() (fails int) {
+		eng, cl := testCluster()
+		inj := New(Plan{Seed: 42, Events: []Event{
+			{Kind: RPCBlips, Start: 0, End: 100, Value: 0.5},
+		}})
+		inj.Bind(eng, cl)
+		p := inj.Predictor(&okPredictor{})
+		eng.Run(1)
+		for i := 0; i < 200; i++ {
+			if _, _, err := p.PredictBatch(nil, nn.Inputs{}); err != nil {
+				if !errors.Is(err, ErrBlip) {
+					t.Fatalf("unexpected error kind: %v", err)
+				}
+				fails++
+			}
+		}
+		return fails
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("blips not reproducible: %d vs %d", a, b)
+	}
+	if a < 60 || a > 140 {
+		t.Fatalf("blip rate implausible for p=0.5: %d/200", a)
+	}
+}

@@ -49,6 +49,10 @@ type RunSpec struct {
 	InitAlloc []float64
 	KeepTrace bool
 	Recorder  *dataset.Recorder
+	// Faults is an optional fault-injection plan. Like the Recorder it is
+	// owned exclusively by this spec: an injector binds to one run's engine
+	// and must never be shared across specs.
+	Faults runner.FaultInjector
 }
 
 // Suite is an ordered collection of runs evaluated together.
@@ -180,6 +184,7 @@ func execute(index int, sp RunSpec, seed int64) Outcome {
 		InitAlloc: sp.InitAlloc,
 		KeepTrace: sp.KeepTrace,
 		Recorder:  sp.Recorder,
+		Faults:    sp.Faults,
 	})
 	return Outcome{Index: index, Seed: seed, Spec: sp, Policy: pol, Result: res}
 }

@@ -5,14 +5,23 @@
 // a different process (or host) from model inference, exactly mirroring the
 // paper's deployment split. A Client implements core.Predictor, so a
 // Scheduler works identically against a local model or a remote service.
+//
+// The client side is built to survive the service: per-call deadlines,
+// bounded retries with jittered exponential backoff, automatic redial, and
+// a consecutive-failure circuit breaker with half-open probing. A model
+// call that exhausts all of that returns an error — never a panic — which
+// the scheduler answers by switching to its degraded fallback policy.
 package predsvc
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sinan/internal/core"
 	"sinan/internal/nn"
@@ -81,7 +90,10 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 	if ctx == nil {
 		ctx = core.NewPredictContext()
 	}
-	pred, pviol := m.PredictBatch(ctx, in)
+	pred, pviol, err := m.PredictBatch(ctx, in)
+	if err != nil {
+		return err
+	}
 	// Copy out of the context before returning it to the pool: net/rpc
 	// encodes the reply after this method returns, by which time another
 	// request may be overwriting the context's buffers.
@@ -98,82 +110,398 @@ func (s *Service) Meta(_ *struct{}, reply *MetaReply) error {
 	return nil
 }
 
+// Server owns a serving listener and tracks every connection it has
+// accepted, so Close can shut down gracefully: stop accepting, stop
+// reading new requests, drain in-flight RPCs, then release the sockets.
+type Server struct {
+	rpc *rpc.Server
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Close shuts the server down gracefully: the listener closes first (no
+// new connections), then every tracked connection stops reading (no new
+// requests; net/rpc finishes and answers the in-flight ones before its
+// per-connection loop exits), and Close blocks until all connection
+// goroutines have drained. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.lis.Close()
+	for conn := range s.conns {
+		if cr, ok := conn.(interface{ CloseRead() error }); ok {
+			cr.CloseRead()
+		} else {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
 // Serve registers the service and accepts connections on l until the
-// listener closes. It returns the rpc server for further registration.
-func Serve(l net.Listener, svc *Service) (*rpc.Server, error) {
+// server is closed. The returned Server handle exposes Addr and graceful
+// Close.
+func Serve(l net.Listener, svc *Service) (*Server, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Sinan", svc); err != nil {
 		return nil, err
 	}
+	s := &Server{rpc: srv, lis: l, conns: make(map[net.Conn]struct{})}
 	go func() {
 		for {
 			conn, err := l.Accept()
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			if !s.track(conn) {
+				conn.Close()
+				return
+			}
+			go func() {
+				defer s.untrack(conn)
+				srv.ServeConn(conn)
+			}()
 		}
 	}()
-	return srv, nil
+	return s, nil
 }
 
 // ListenAndServe starts the service on the given TCP address and returns
-// the bound listener (close it to stop).
-func ListenAndServe(addr string, m *core.HybridModel) (net.Listener, *Service, error) {
+// the server handle (Close it to stop) plus the service for model swaps.
+func ListenAndServe(addr string, m *core.HybridModel) (*Server, *Service, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
 	svc := NewService(m)
-	if _, err := Serve(l, svc); err != nil {
+	s, err := Serve(l, svc)
+	if err != nil {
 		l.Close()
 		return nil, nil, err
 	}
-	return l, svc, nil
+	return s, svc, nil
 }
+
+// ErrUnavailable is returned without touching the network while the
+// client's circuit breaker is open: the service has failed enough times in
+// a row that hammering it would only add load and latency. The scheduler
+// treats it like any other predictor error and stays in degraded mode; the
+// breaker lets a probe through once the cooldown elapses.
+var ErrUnavailable = errors.New("predsvc: prediction service unavailable (circuit open)")
+
+// ClientOptions tunes the resilient client. The zero value means "use
+// defaults" for every field.
+type ClientOptions struct {
+	DialTimeout time.Duration // TCP connect + initial Meta deadline (default 2s)
+	CallTimeout time.Duration // per-RPC deadline (default 1s)
+	MaxRetries  int           // additional attempts after the first (default 2; negative = none)
+	BackoffBase time.Duration // first retry delay (default 50ms)
+	BackoffMax  time.Duration // retry delay ceiling (default 500ms)
+
+	// BreakerThreshold consecutive failed calls open the breaker (default
+	// 5); after BreakerCooldown (default 5s) it goes half-open and admits a
+	// probe. A probe success closes it, a failure re-opens it.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// JitterSeed seeds the backoff jitter stream (default 1): keep it fixed
+	// for reproducible tests, vary it across replicas to avoid retry herds.
+	JitterSeed int64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	return o
+}
+
+// ClientStats counts what the resilient client has done, for experiment
+// tables and operational visibility.
+type ClientStats struct {
+	Calls        int // PredictBatch invocations
+	Errors       int // invocations that returned an error
+	Retries      int // extra attempts after a failed one
+	Redials      int // reconnections established
+	BreakerOpens int // closed→open transitions
+	FastFails    int // calls rejected by an open breaker
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
 
 // Client is a remote hybrid model; it implements core.Predictor so the
 // online scheduler can be pointed at a prediction service transparently.
+// Calls are serialized by an internal mutex — the scheduler queries once
+// per decision interval, so there is nothing to win by pipelining — and a
+// failed transport is redialed on the next attempt rather than poisoning
+// the client.
 type Client struct {
-	rpc  *rpc.Client
-	meta core.ModelMeta
+	addr string
+	opts ClientOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	rpc     *rpc.Client
+	meta    core.ModelMeta
+	state   int // breaker
+	fails   int // consecutive failures
+	openedA time.Time
+	jitter  *rand.Rand
+	stats   ClientStats
+
+	// Test seams; wall-clock time never influences predictions, only retry
+	// pacing and breaker cooldowns.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
-// Dial connects to a prediction service and fetches the model metadata.
+func newClient(addr string, opts ClientOptions) *Client {
+	o := opts.withDefaults()
+	return &Client{
+		addr:   addr,
+		opts:   o,
+		jitter: rand.New(rand.NewSource(o.JitterSeed)),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+}
+
+// Dial connects to a prediction service with default options.
 func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
-	if err != nil {
+	return DialWith(addr, ClientOptions{})
+}
+
+// DialWith connects to a prediction service and fetches the model
+// metadata. Both the TCP connect and the initial Meta call are bounded by
+// DialTimeout, so a black-holed address fails fast instead of hanging the
+// scheduler at startup.
+func DialWith(addr string, opts ClientOptions) (*Client, error) {
+	c := newClient(addr, opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redial(); err != nil {
 		return nil, err
 	}
 	var mr MetaReply
-	if err := c.Call("Sinan.Meta", &struct{}{}, &mr); err != nil {
-		c.Close()
-		return nil, err
+	if err := c.callOnce("Sinan.Meta", &struct{}{}, &mr, c.opts.DialTimeout); err != nil {
+		c.dropConn()
+		return nil, fmt.Errorf("predsvc: initial metadata fetch: %w", err)
 	}
-	return &Client{rpc: c, meta: mr.Meta}, nil
+	c.meta = mr.Meta
+	return c, nil
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.rpc.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rpc == nil {
+		return nil
+	}
+	err := c.rpc.Close()
+	c.rpc, c.conn = nil, nil
+	return err
+}
 
-// Meta implements core.Predictor.
-func (c *Client) Meta() core.ModelMeta { return c.meta }
+// Meta implements core.Predictor; metadata is fetched once at dial time
+// (it only changes on a model swap, which keeps dims compatible).
+func (c *Client) Meta() core.ModelMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meta
+}
+
+// Stats returns a snapshot of the client's resilience counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // PredictBatch implements core.Predictor by delegating to the service; the
 // prediction context is unused (per-call state lives on the server, which
-// keeps its own pool). RPC failures surface as panics: the scheduler has no
-// useful recourse if its model host is gone, and the caller's safety net
-// (deploying without a model is not allowed) should treat this as a crash.
-func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64) {
+// keeps its own pool). Transport failures are retried with backoff and a
+// fresh connection; when the service stays down the error is returned to
+// the scheduler — which runs its degraded fallback policy — and repeated
+// failures trip the circuit breaker so subsequent calls fail fast until a
+// cooldown probe succeeds.
+func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
 	args := &PredictArgs{
 		RH:    in.RH.Data,
 		LH:    in.LH.Data,
 		RC:    in.RC.Data,
 		Batch: in.Batch(),
 	}
-	var reply PredictReply
-	if err := c.rpc.Call("Sinan.Predict", args, &reply); err != nil {
-		panic(fmt.Sprintf("predsvc: predict RPC failed: %v", err))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Calls++
+	if !c.breakerAllow() {
+		c.stats.FastFails++
+		c.stats.Errors++
+		return nil, nil, ErrUnavailable
 	}
-	return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol
+	var reply PredictReply
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.callOnce("Sinan.Predict", args, &reply, c.opts.CallTimeout)
+		if err == nil {
+			c.breakerSuccess()
+			return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol, nil
+		}
+		c.dropConn()
+		if attempt >= c.opts.MaxRetries {
+			break
+		}
+		c.stats.Retries++
+		c.sleep(c.backoff(attempt))
+	}
+	c.breakerFailure()
+	c.stats.Errors++
+	return nil, nil, fmt.Errorf("predsvc: predict RPC failed after %d attempts: %w", c.opts.MaxRetries+1, err)
+}
+
+// callOnce performs one RPC attempt on the current connection (dialing a
+// fresh one if needed) with a hard deadline. On timeout the connection is
+// closed so the stale in-flight reply can never be mistaken for a fresh
+// one. Caller holds c.mu.
+func (c *Client) callOnce(method string, args, reply interface{}, timeout time.Duration) error {
+	if c.rpc == nil {
+		if err := c.redial(); err != nil {
+			return err
+		}
+	}
+	call := c.rpc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-t.C:
+		c.dropConn()
+		return fmt.Errorf("predsvc: %s deadline (%v) exceeded", method, timeout)
+	}
+}
+
+// redial establishes a fresh connection. Caller holds c.mu.
+func (c *Client) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.rpc = rpc.NewClient(conn)
+	c.stats.Redials++
+	return nil
+}
+
+// dropConn discards the current connection so the next attempt redials.
+// Caller holds c.mu.
+func (c *Client) dropConn() {
+	if c.rpc != nil {
+		c.rpc.Close()
+	}
+	c.rpc, c.conn = nil, nil
+}
+
+// backoff returns the jittered exponential delay before retry attempt+1.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// Full jitter in [d/2, d): desynchronises replicas retrying the same
+	// dead service without stretching the worst case.
+	return d/2 + time.Duration(c.jitter.Int63n(int64(d/2)+1))
+}
+
+func (c *Client) breakerAllow() bool {
+	switch c.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open: admit a probe once the cooldown has elapsed
+		if c.now().Sub(c.openedA) >= c.opts.BreakerCooldown {
+			c.state = breakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+func (c *Client) breakerSuccess() {
+	c.fails = 0
+	c.state = breakerClosed
+}
+
+func (c *Client) breakerFailure() {
+	c.fails++
+	if c.state == breakerHalfOpen || c.fails >= c.opts.BreakerThreshold {
+		if c.state != breakerOpen {
+			c.stats.BreakerOpens++
+		}
+		c.state = breakerOpen
+		c.openedA = c.now()
+		c.fails = 0
+	}
 }

@@ -85,8 +85,14 @@ func TestRemotePredictionMatchesLocal(t *testing.T) {
 	}
 
 	in := mkBatch(m.D, 7)
-	wantLat, wantPV := m.PredictBatch(nil, in)
-	gotLat, gotPV := c.PredictBatch(nil, in)
+	wantLat, wantPV, err := m.PredictBatch(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLat, gotPV, err := c.PredictBatch(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range wantLat.Data {
 		if math.Abs(wantLat.Data[i]-gotLat.Data[i]) > 1e-9 {
 			t.Fatalf("latency mismatch at %d: %v vs %v", i, gotLat.Data[i], wantLat.Data[i])

@@ -1,0 +1,301 @@
+package predsvc
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"sync"
+	"testing"
+	"time"
+
+	"sinan/internal/core"
+)
+
+// quickOpts keeps retry/backoff machinery out of the way for tests that
+// exercise something else.
+func quickOpts() ClientOptions {
+	return ClientOptions{
+		DialTimeout:      2 * time.Second,
+		CallTimeout:      2 * time.Second,
+		MaxRetries:       -1, // none
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		BreakerThreshold: 1000,
+		BreakerCooldown:  time.Hour,
+	}
+}
+
+// The client must survive its service restarting mid-run: calls fail (no
+// panic) while the server is down and succeed again — over a fresh
+// connection — once it is back on the same address.
+func TestClientRecoversAcrossServerRestart(t *testing.T) {
+	m := tinyHybrid(t)
+	srv, _, err := ListenAndServe("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	c, err := DialWith(addr, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in := mkBatch(m.D, 3)
+	if _, _, err := c.PredictBatch(nil, in); err != nil {
+		t.Fatalf("healthy predict failed: %v", err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.PredictBatch(nil, in); err == nil {
+		t.Fatal("predict against a closed server should error")
+	}
+
+	// Restart on the same address (SO_REUSEADDR makes the rebind race-free
+	// on loopback) and verify the client finds its way back.
+	srv2, _, err := ListenAndServe(addr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	var lastErr error
+	recovered := false
+	for i := 0; i < 10; i++ {
+		if _, _, lastErr = c.PredictBatch(nil, in); lastErr == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("client never recovered after restart: %v", lastErr)
+	}
+	st := c.Stats()
+	if st.Redials < 2 {
+		t.Fatalf("expected at least 2 redials (dial + recovery), got %+v", st)
+	}
+	if st.Errors == 0 {
+		t.Fatalf("expected recorded errors during the outage, got %+v", st)
+	}
+}
+
+// Breaker lifecycle on a deterministic fake clock: consecutive failures
+// open it, calls then fail fast without touching the network, the cooldown
+// admits a half-open probe, and a probe success closes it again.
+func TestBreakerOpenHalfOpenClosed(t *testing.T) {
+	m := tinyHybrid(t)
+	srv, _, err := ListenAndServe("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	srv.Close() // down for the first act
+
+	c := newClient(addr, ClientOptions{
+		DialTimeout:      500 * time.Millisecond,
+		CallTimeout:      500 * time.Millisecond,
+		MaxRetries:       -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Second,
+	})
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+	c.sleep = func(time.Duration) {}
+	defer c.Close()
+
+	in := mkBatch(m.D, 2)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.PredictBatch(nil, in); err == nil {
+			t.Fatalf("call %d against dead server should fail", i)
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker should have opened once after 3 failures: %+v", st)
+	}
+
+	// Open: fail fast, no network activity.
+	_, _, err = c.PredictBatch(nil, in)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open breaker should return ErrUnavailable, got %v", err)
+	}
+	if st := c.Stats(); st.FastFails != 1 {
+		t.Fatalf("expected 1 fast-fail: %+v", st)
+	}
+
+	// Half-open probe that fails re-opens immediately (server still down).
+	clock = clock.Add(31 * time.Second)
+	if _, _, err := c.PredictBatch(nil, in); errors.Is(err, ErrUnavailable) || err == nil {
+		t.Fatalf("half-open probe should hit the network and fail, got %v", err)
+	}
+	if st := c.Stats(); st.BreakerOpens != 2 {
+		t.Fatalf("failed probe should re-open the breaker: %+v", st)
+	}
+
+	// Server returns; next cooldown's probe succeeds and closes the breaker.
+	srv2, _, err := ListenAndServe(addr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	clock = clock.Add(31 * time.Second)
+	if _, _, err := c.PredictBatch(nil, in); err != nil {
+		t.Fatalf("half-open probe against live server failed: %v", err)
+	}
+	if c.state != breakerClosed {
+		t.Fatalf("successful probe should close the breaker, state=%d", c.state)
+	}
+	if _, _, err := c.PredictBatch(nil, in); err != nil {
+		t.Fatalf("closed breaker should pass calls: %v", err)
+	}
+}
+
+// Dial must not hang on a listener that accepts but never speaks RPC: the
+// initial metadata fetch carries a deadline.
+func TestDialDeadlineOnSilentServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold it open, say nothing
+		}
+	}()
+
+	opts := quickOpts()
+	opts.DialTimeout = 200 * time.Millisecond
+	done := make(chan error, 1)
+	go func() {
+		_, err := DialWith(l.Addr().String(), opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dial against a silent server should fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Dial hung on a silent server")
+	}
+}
+
+// Swap racing in-flight Predicts through real connections: under -race
+// this is the end-to-end thread-safety proof for the model pointer and the
+// context pool.
+func TestSwapRacesInflightPredicts(t *testing.T) {
+	m1 := tinyHybrid(t)
+	srv, svc, err := ListenAndServe("127.0.0.1:0", m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m2 := tinyHybrid(t)
+	m2.Pu = 0.77
+
+	const workers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				svc.Swap(m2)
+			} else {
+				svc.Swap(m1)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialWith(srv.Addr().String(), quickOpts())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			in := mkBatch(m1.D, 3)
+			for i := 0; i < 25; i++ {
+				if _, _, err := c.PredictBatch(nil, in); err != nil {
+					t.Errorf("predict during swap storm: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-swapperDone
+}
+
+// Graceful shutdown drains in-flight RPCs: a slow call issued before Close
+// completes successfully, and Close returns only after it has.
+func TestServerCloseDrainsInflight(t *testing.T) {
+	m := tinyHybrid(t)
+	srv, _, err := ListenAndServe("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register a deliberately slow method on the same connection plumbing.
+	if err := srv.rpc.RegisterName("Slow", &slowSvc{d: 300 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.DialTimeout("tcp", srv.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rpc.NewClient(conn)
+	defer rc.Close()
+
+	started := time.Now()
+	call := rc.Go("Slow.Wait", &struct{}{}, &struct{}{}, make(chan *rpc.Call, 1))
+	time.Sleep(50 * time.Millisecond) // let the request reach the server
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(started)
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("Close returned after %v, before the in-flight RPC drained", elapsed)
+	}
+	select {
+	case <-call.Done:
+		if call.Error != nil {
+			t.Fatalf("in-flight RPC should complete across graceful shutdown: %v", call.Error)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight RPC never completed")
+	}
+
+	// And the listener really is closed.
+	if _, err := DialWith(srv.Addr().String(), quickOpts()); err == nil {
+		t.Fatal("dial after Close should fail")
+	}
+}
+
+type slowSvc struct{ d time.Duration }
+
+func (s *slowSvc) Wait(_ *struct{}, _ *struct{}) error {
+	time.Sleep(s.d)
+	return nil
+}
+
+// A degraded-capable scheduler stays a Policy even when driven by the
+// remote client — compile-time wiring check for the fallback path.
+var _ core.Predictor = (*Client)(nil)

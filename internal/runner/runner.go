@@ -28,6 +28,11 @@ type State struct {
 	Alloc []float64           // allocation currently in force
 	RPS   float64             // API-gateway arrival rate over the interval
 	QoSMS float64
+	// StatsOK flags which tiers' node agents reported this interval. A nil
+	// slice means every tier reported (the common case); a false entry
+	// marks a dropped-out agent whose Stats row is zeroed and must be
+	// imputed by the policy.
+	StatsOK []bool
 }
 
 // Decision is a policy's output for the next interval.
@@ -35,6 +40,7 @@ type Decision struct {
 	Alloc     []float64 // per-tier CPU allocation to enforce
 	PredP99MS float64   // model-predicted p99 for the chosen action (0 if n/a)
 	PViol     float64   // model-predicted violation probability (0 if n/a)
+	Degraded  bool      // decided by a fallback path, not the model
 }
 
 // Policy decides per-tier CPU allocations once per decision interval.
@@ -61,6 +67,19 @@ type TraceRow struct {
 	PViol     float64
 	Total     float64   // aggregate allocated cores
 	Alloc     []float64 // per-tier allocation in force during the interval
+	Degraded  bool      // the decision came from a fallback path
+}
+
+// FaultInjector is the hook through which a fault-injection plan attaches
+// to a managed run (the concrete implementation lives in internal/faults;
+// the interface is declared here so runner does not import it). Bind is
+// called once before the first interval with the run's private engine and
+// cluster; MaskStats is called every interval after the node-agent read and
+// may zero entries to simulate agent dropouts, returning the per-tier
+// ok-mask (nil when every tier reported).
+type FaultInjector interface {
+	Bind(eng *sim.Engine, cl *cluster.Cluster)
+	MaskStats(stats []cluster.Stats) []bool
 }
 
 // Config describes one managed run.
@@ -75,6 +94,7 @@ type Config struct {
 	Recorder  *dataset.Recorder // optional training-data sink
 	InitAlloc []float64         // starting allocation (default: per-tier max)
 	KeepTrace bool              // retain the per-interval trace
+	Faults    FaultInjector     // optional fault plan, owned by this run
 }
 
 // Result summarises a managed run.
@@ -95,6 +115,9 @@ func Run(cfg Config) *Result {
 	}
 	gen := workload.NewGenerator(cl, cfg.App, rng.Fork(), cfg.Pattern)
 	gen.Start()
+	if cfg.Faults != nil {
+		cfg.Faults.Bind(eng, cl)
+	}
 
 	meter := metrics.NewQoSMeter(cfg.App.QoSMS)
 	res := &Result{Meter: meter}
@@ -105,17 +128,22 @@ func Run(cfg Config) *Result {
 		eng.Run(float64(i+1) * Interval)
 
 		stats := cl.ReadStats()
+		var statsOK []bool
+		if cfg.Faults != nil {
+			statsOK = cfg.Faults.MaskStats(stats)
+		}
 		perc := gen.Window.Flush()
 		submitted := gen.Submitted()
 		rps := float64(submitted-lastSubmitted) / Interval
 		lastSubmitted = submitted
 		state := State{
-			Time:  eng.Now(),
-			Stats: stats,
-			Perc:  perc,
-			Alloc: cl.Alloc(),
-			RPS:   rps,
-			QoSMS: cfg.App.QoSMS,
+			Time:    eng.Now(),
+			Stats:   stats,
+			Perc:    perc,
+			Alloc:   cl.Alloc(),
+			RPS:     rps,
+			QoSMS:   cfg.App.QoSMS,
+			StatsOK: statsOK,
 		}
 		dec := cfg.Policy.Decide(state)
 		if dec.Alloc == nil {
@@ -138,6 +166,7 @@ func Run(cfg Config) *Result {
 				PViol:     dec.PViol,
 				Total:     totalOf(state.Alloc),
 				Alloc:     append([]float64(nil), state.Alloc...),
+				Degraded:  dec.Degraded,
 			})
 		}
 		cl.SetAlloc(dec.Alloc)

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"sinan/internal/apps"
+	"sinan/internal/cluster"
 	"sinan/internal/dataset"
 	"sinan/internal/nn"
+	"sinan/internal/sim"
 	"sinan/internal/workload"
 )
 
@@ -79,6 +81,67 @@ func TestRunAppliesPolicyAllocation(t *testing.T) {
 	// After the first decision the allocation should be 0.5/tier.
 	if last.Alloc[0] != 0.5 {
 		t.Fatalf("policy allocation not applied: %v", last.Alloc[0])
+	}
+}
+
+// fakeInjector implements FaultInjector without importing internal/faults
+// (which depends on core and would cycle back here): it drops one tier's
+// stats every interval and records that the runner bound it.
+type fakeInjector struct {
+	bound bool
+	drop  int
+	masks int
+}
+
+func (f *fakeInjector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
+	f.bound = eng != nil && cl != nil
+}
+
+func (f *fakeInjector) MaskStats(stats []cluster.Stats) []bool {
+	f.masks++
+	ok := make([]bool, len(stats))
+	for i := range ok {
+		ok[i] = i != f.drop
+	}
+	stats[f.drop] = cluster.Stats{}
+	return ok
+}
+
+// The runner must bind the injector before the first interval, hand each
+// decision the injector's ok-mask with the masked rows zeroed, and carry a
+// policy's Degraded flag into the trace.
+func TestRunWiresFaultInjectorAndDegradedFlag(t *testing.T) {
+	app := apps.NewHotelReservation()
+	inj := &fakeInjector{drop: 1}
+	sawMask := 0
+	pol := PolicyFunc("probe", func(s State) Decision {
+		if s.StatsOK != nil && !s.StatsOK[1] && s.StatsOK[0] {
+			sawMask++
+		}
+		if s.Stats[1] != (cluster.Stats{}) {
+			t.Errorf("masked tier stats not zeroed: %+v", s.Stats[1])
+		}
+		return Decision{Alloc: s.Alloc, Degraded: true}
+	})
+	res := Run(Config{
+		App:       app,
+		Policy:    pol,
+		Pattern:   workload.Constant(50),
+		Duration:  5,
+		Seed:      4,
+		KeepTrace: true,
+		Faults:    inj,
+	})
+	if !inj.bound {
+		t.Fatal("injector was never bound to the run")
+	}
+	if inj.masks != 5 || sawMask != 5 {
+		t.Fatalf("mask calls=%d, policy saw mask %d times, want 5/5", inj.masks, sawMask)
+	}
+	for i, row := range res.Trace {
+		if !row.Degraded {
+			t.Fatalf("trace row %d lost the degraded flag", i)
+		}
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 // per-tier allocations). This is the log format the repository's processing
 // helpers and external plotting consume.
 func WriteTraceCSV(w io.Writer, trace []TraceRow, tierNames []string) error {
-	cols := []string{"time_s", "rps", "p99_ms", "drops", "pred_p99_ms", "p_viol", "total_cpu"}
+	cols := []string{"time_s", "rps", "p99_ms", "drops", "pred_p99_ms", "p_viol", "total_cpu", "degraded"}
 	for _, n := range tierNames {
 		cols = append(cols, "cpu_"+sanitize(n))
 	}
@@ -27,6 +27,7 @@ func WriteTraceCSV(w io.Writer, trace []TraceRow, tierNames []string) error {
 			fmt.Sprintf("%.2f", row.PredP99MS),
 			fmt.Sprintf("%.4f", row.PViol),
 			fmt.Sprintf("%.2f", row.Total),
+			fmt.Sprintf("%d", b2i(row.Degraded)),
 		}
 		for i := range tierNames {
 			v := 0.0
@@ -40,6 +41,13 @@ func WriteTraceCSV(w io.Writer, trace []TraceRow, tierNames []string) error {
 		}
 	}
 	return nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func sanitize(s string) string {

@@ -31,6 +31,12 @@ go test ./... "$@"
 echo "== go test -race (short) =="
 go test -race -short -timeout 30m ./... "$@"
 
+echo "== chaos smoke (race) =="
+# The fault-injection tests skip under -short, so give the degraded-mode
+# machinery (injector, fallback scheduler, resilient RPC client) a
+# dedicated race-mode pass.
+go test -race -timeout 20m -run 'Chaos|Degraded|Breaker' ./...
+
 echo "== bench smoke =="
 go test -run='^$' -bench='ConvForward|PredictBatch' -benchtime=1x
 
