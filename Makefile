@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json speedup
+.PHONY: build test race vet check overload bench bench-json speedup
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ vet:
 # to keep the test stages fast.
 check:
 	./scripts/check.sh $(ARGS)
+
+# Overload experiment: drives the prediction service past saturation
+# (protected vs unprotected) and the scheduler through brownout windows.
+overload:
+	$(GO) run ./cmd/sinan-bench -exp overload
 
 bench:
 	$(GO) test -bench=. -benchmem

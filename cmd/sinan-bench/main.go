@@ -5,6 +5,7 @@
 //	sinan-bench -exp table2          # one experiment
 //	sinan-bench -exp fig11 -full     # full-size sweep
 //	sinan-bench -exp chaos           # robustness under injected faults
+//	sinan-bench -exp overload        # admission control & scheduler brownout
 //	sinan-bench -exp all             # everything, quick mode
 //	sinan-bench -list                # available experiments
 package main

@@ -6,9 +6,14 @@
 //
 //	sinan-serve -model hotel.model -addr :9090
 //
-// The service exposes Sinan.Predict and Sinan.Meta over net/rpc; schedulers
-// connect with predsvc.Dial and use the remote model exactly like a local
-// one.
+// The service exposes Sinan.Predict, Sinan.Meta, and Sinan.Stats over
+// net/rpc; schedulers connect with predsvc.Dial and use the remote model
+// exactly like a local one. Admission control protects the server under
+// overload: -max-active bounds concurrent predictions (0 = GOMAXPROCS,
+// negative disables the gate) and -max-queue bounds the LIFO burst queue
+// (0 = 4x max-active, negative = no queue). Excess load is shed with a
+// typed overload error; requests whose propagated deadline expires while
+// queued are dropped unexecuted.
 package main
 
 import (
@@ -24,8 +29,10 @@ import (
 
 func main() {
 	var (
-		model = flag.String("model", "sinan.model", "hybrid model path")
-		addr  = flag.String("addr", "127.0.0.1:9090", "listen address")
+		model     = flag.String("model", "sinan.model", "hybrid model path")
+		addr      = flag.String("addr", "127.0.0.1:9090", "listen address")
+		maxActive = flag.Int("max-active", 0, "max concurrent predictions (0 = GOMAXPROCS, <0 = no admission control)")
+		maxQueue  = flag.Int("max-queue", 0, "max queued predictions (0 = 4x max-active, <0 = no queue)")
 	)
 	flag.Parse()
 
@@ -33,7 +40,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
-	srv, _, err := predsvc.ListenAndServe(*addr, m)
+	srv, svc, err := predsvc.ListenAndServeWith(*addr, m, predsvc.ServiceOptions{
+		MaxConcurrent: *maxActive,
+		MaxQueue:      *maxQueue,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,6 +53,10 @@ func main() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	// Graceful: stop accepting, drain in-flight predictions, then exit.
+	// Graceful: stop accepting, drain in-flight predictions, then exit —
+	// reporting what the admission gate did over the server's lifetime.
 	srv.Close()
+	st := svc.StatsSnapshot()
+	fmt.Fprintf(os.Stderr, "admission: accepted=%d shed=%d expired=%d peak-queue=%d\n",
+		st.Accepted, st.Shed, st.Expired, st.PeakQueue)
 }

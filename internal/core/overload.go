@@ -1,0 +1,47 @@
+package core
+
+import "errors"
+
+// IsOverload reports whether a predictor error is a load-shed response: the
+// model host is alive but refused the query to protect itself (admission
+// queue full, drain in progress, injected overload). Implementations mark
+// such errors by implementing Overloaded() bool anywhere in the wrap chain
+// (predsvc.ErrOverloaded and faults.ErrShed both do). The scheduler treats
+// a shed differently from a dead host: the right response is a smaller
+// candidate batch next interval — browning out — not hammering the service
+// with the same oversized query.
+func IsOverload(err error) bool {
+	var o interface{ Overloaded() bool }
+	return errors.As(err, &o) && o.Overloaded()
+}
+
+// CostReporter is optionally implemented by predictors that can report the
+// cost of their most recent successful PredictBatch in milliseconds
+// (predsvc.Client measures wall time; the fault injector reports its
+// injected slowdown deterministically). The scheduler's brownout ladder
+// treats a cost above SchedulerOptions.SlowPredictMS as overload pressure:
+// predictions that arrive late eat into the 1 s decision interval, and the
+// cure is fewer candidates, applied before the slowness turns into missed
+// intervals or timeouts.
+type CostReporter interface {
+	LastPredictMS() float64
+}
+
+// Brownout ladder levels. The scheduler degrades its candidate enumeration
+// along this ladder while the prediction path is slow, shedding, or
+// erroring, and climbs back down hysteretically once queries are healthy
+// again. Each step trades decision quality for a cheaper (and therefore
+// likelier-to-succeed) model query — the scheduler never skips a decision
+// interval, it asks a smaller question instead.
+const (
+	// BrownoutNone: full Table-1 candidate enumeration.
+	BrownoutNone = 0
+	// BrownoutTopK: single-tier operations restricted to the most relevant
+	// tiers by utilization (scale-ups to the hottest, scale-downs to the
+	// coldest), one batch-reclaim variant, safety candidates kept.
+	BrownoutTopK = 1
+	// BrownoutHold: the hold candidate only — a batch-of-one query that
+	// doubles as the recovery probe, with the degraded fallback and the
+	// emergency ramp still armed behind it.
+	BrownoutHold = 2
+)

@@ -35,6 +35,29 @@ type SchedulerOptions struct {
 	// consecutive intervals is biased toward upscale instead of trusted at
 	// its last reading (flying blind must fail safe).
 	StaleCap int
+
+	// BrownoutTopK is the per-direction tier budget at brownout level 1:
+	// single-tier scale-ups are enumerated only for the k most utilized
+	// tiers and scale-downs only for the k least utilized ones (default 4).
+	BrownoutTopK int
+	// BrownoutRecover is the hysteresis on the way down the ladder: the
+	// number of consecutive healthy model queries before the scheduler
+	// steps one brownout level toward full enumeration (default 3).
+	// Escalation is immediate — one shed, slow, or failed query per step —
+	// because under overload every oversized query makes the overload
+	// worse; recovery is deliberately slower so a single lucky query cannot
+	// flap the ladder.
+	BrownoutRecover int
+	// SlowPredictMS is the prediction-cost budget: a successful model query
+	// whose reported cost (CostReporter) exceeds it counts as overload
+	// pressure. Default 250 (a quarter of the decision interval); negative
+	// disables slowness-driven escalation.
+	SlowPredictMS float64
+	// NoBrownout disables the ladder entirely: the scheduler always
+	// enumerates the full candidate set regardless of prediction-path
+	// health. This is the rigid baseline the overload experiment measures
+	// against.
+	NoBrownout bool
 }
 
 func (o SchedulerOptions) withDefaults() SchedulerOptions {
@@ -54,6 +77,15 @@ func (o SchedulerOptions) withDefaults() SchedulerOptions {
 	}
 	if o.StaleCap == 0 {
 		o.StaleCap = 5
+	}
+	if o.BrownoutTopK == 0 {
+		o.BrownoutTopK = 4
+	}
+	if o.BrownoutRecover == 0 {
+		o.BrownoutRecover = 3
+	}
+	if o.SlowPredictMS == 0 {
+		o.SlowPredictMS = 250
 	}
 	return o
 }
@@ -126,6 +158,17 @@ type Scheduler struct {
 	PredictErrors     int // model queries that returned an error
 	DegradedIntervals int // intervals decided by the fallback policy
 	Recoveries        int // degraded → model-driven transitions
+
+	// Brownout ladder state: while the prediction path is slow, shed, or
+	// erroring, the scheduler shrinks its candidate enumeration (full →
+	// top-k tiers → hold-only) instead of missing its decision interval,
+	// and recovers one level per BrownoutRecover consecutive healthy
+	// queries.
+	brownLevel        int
+	brownGood         int // consecutive healthy queries at the current level
+	PredictSheds      int // predictor errors classified as load sheds
+	BrownoutIntervals int // decisions shaped by a non-zero brownout level
+	CandidatesScored  int // total candidates sent to the model (batch economics)
 
 	// Per-scheduler model-evaluation state: the prediction context and the
 	// reused candidate-batch input tensors. These make the steady-state
@@ -216,7 +259,7 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 		// persists) rather than a single jump to the absolute maximum: it
 		// reaches max within a few intervals for a real overload, without
 		// paying the full worst-case allocation for one noisy interval.
-		return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1}
+		return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1, Brownout: s.brownoutLevel()}
 	}
 
 	s.pushHistory(st, d)
@@ -227,7 +270,7 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	if !s.statHist.Full() {
 		// Bootstrapping: hold until the history window fills.
 		s.lastPredValid = false
-		return runner.Decision{Alloc: st.Alloc}
+		return runner.Decision{Alloc: st.Alloc, Brownout: s.brownoutLevel()}
 	}
 	if s.cooldown > 0 {
 		// Post-emergency cool-down: hold (or keep ramping, if latency is
@@ -237,21 +280,40 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 		s.cooldown--
 		s.lastPredValid = false
 		if violated {
-			return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1}
+			return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1, Brownout: s.brownoutLevel()}
 		}
-		return runner.Decision{Alloc: st.Alloc}
+		return runner.Decision{Alloc: st.Alloc, Brownout: s.brownoutLevel()}
 	}
 
+	// The brownout level in force while this decision's candidates were
+	// enumerated. Pressure/relief observed below only moves the ladder for
+	// the *next* interval, so the recorded level matches the batch actually
+	// sent to the model.
+	level := s.brownoutLevel()
+	if level > BrownoutNone {
+		s.BrownoutIntervals++
+	}
 	cands := s.candidates(st)
+	s.CandidatesScored += len(cands)
 	pred, pviol, err := s.predictCandidates(cands, d)
 	if err != nil {
 		// Model path unavailable: degrade to the conservative built-in
 		// policy instead of crashing. Every interval retries the model (the
 		// query doubles as the recovery probe — a resilient client's
 		// circuit breaker makes the retry cheap while the host stays down).
+		// A shed is pressure for the brownout ladder on top of being a
+		// degraded interval: the host is alive but refusing work, so the
+		// productive response is a smaller batch next interval.
 		s.PredictErrors++
-		return s.fallbackDecision(st, violated)
+		if IsOverload(err) {
+			s.PredictSheds++
+		}
+		s.brownoutPressure()
+		dec := s.fallbackDecision(st, violated)
+		dec.Brownout = level
+		return dec
 	}
+	s.brownoutObserve()
 	if s.degraded {
 		// A successful probe ends degraded mode. Re-enter model-driven
 		// operation conservatively: suppress reclamation for a victim
@@ -268,7 +330,7 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 		// within a few intervals if the danger persists).
 		s.lastPredValid = false
 		s.cooldown = s.Opts.VictimWindow
-		return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1}
+		return runner.Decision{Alloc: s.boosted(st.Alloc), PViol: 1, Brownout: level}
 	}
 	c := cands[chosen]
 	if c.kind == kindDown || c.kind == kindDownBatch {
@@ -281,12 +343,63 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	p99 := pred.At(chosen, d.M-1)
 	s.lastPredP99 = p99
 	s.lastPredValid = true
-	return runner.Decision{Alloc: s.biasStale(c.alloc), PredP99MS: p99, PViol: pviol[chosen]}
+	return runner.Decision{Alloc: s.biasStale(c.alloc), PredP99MS: p99, PViol: pviol[chosen], Brownout: level}
 }
 
 // Degraded reports whether the scheduler is currently running its fallback
 // policy because the model path is unavailable.
 func (s *Scheduler) Degraded() bool { return s.degraded }
+
+// BrownoutLevel reports the scheduler's current brownout ladder level
+// (BrownoutNone, BrownoutTopK, or BrownoutHold).
+func (s *Scheduler) BrownoutLevel() int { return s.brownoutLevel() }
+
+func (s *Scheduler) brownoutLevel() int {
+	if s.Opts.NoBrownout {
+		return BrownoutNone
+	}
+	return s.brownLevel
+}
+
+// brownoutPressure escalates the ladder one level in response to a shed,
+// slow, or failed model query. Escalation is immediate: under overload every
+// oversized query the scheduler sends makes the overload worse, so the batch
+// must shrink before the next interval.
+func (s *Scheduler) brownoutPressure() {
+	if s.Opts.NoBrownout {
+		return
+	}
+	s.brownGood = 0
+	if s.brownLevel < BrownoutHold {
+		s.brownLevel++
+	}
+}
+
+// brownoutObserve processes a successful model query: a slow one (reported
+// cost above SlowPredictMS) is pressure just like a failure, a healthy one
+// counts toward hysteretic recovery — BrownoutRecover consecutive healthy
+// queries step the ladder down one level, so a single lucky query while the
+// predictor is still saturated cannot flap the scheduler back into sending
+// full-size batches.
+func (s *Scheduler) brownoutObserve() {
+	if s.Opts.NoBrownout {
+		return
+	}
+	if s.Opts.SlowPredictMS > 0 {
+		if cr, ok := s.M.(CostReporter); ok && cr.LastPredictMS() > s.Opts.SlowPredictMS {
+			s.brownoutPressure()
+			return
+		}
+	}
+	if s.brownLevel == BrownoutNone {
+		return
+	}
+	s.brownGood++
+	if s.brownGood >= s.Opts.BrownoutRecover {
+		s.brownLevel--
+		s.brownGood = 0
+	}
+}
 
 // imputeStats fills in missing per-tier stats (node-agent dropouts flagged
 // by st.StatsOK) with the last good reading, tracking per-tier staleness.
@@ -416,9 +529,14 @@ func (s *Scheduler) boosted(cur []float64) []float64 {
 	return out
 }
 
-// candidates enumerates the pruned action set of Table 1.
+// candidates enumerates the pruned action set of Table 1, further shrunk by
+// the brownout ladder: at BrownoutTopK single-tier operations are budgeted to
+// the most relevant tiers by utilization and the batch-reclaim variants
+// collapse to one; at BrownoutHold only the hold candidate survives — a
+// batch-of-one query that doubles as the recovery probe.
 func (s *Scheduler) candidates(st runner.State) []candidate {
 	n := len(st.Alloc)
+	level := s.brownoutLevel()
 	var out []candidate
 	add := func(alloc []float64, kind candKind, tier int) {
 		total := 0.0
@@ -440,6 +558,48 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 
 	// Hold.
 	add(append([]float64(nil), st.Alloc...), kindHold, -1)
+	if level >= BrownoutHold {
+		return out
+	}
+
+	// Utilization order, least-utilized first. Shared by the batch-reclaim
+	// variants and the brownout tier budgets: scale-downs matter most on the
+	// coldest tiers, scale-ups on the hottest.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua := st.Stats[order[a]].CPUUsage / math.Max(st.Alloc[order[a]], 1e-9)
+		ub := st.Stats[order[b]].CPUUsage / math.Max(st.Alloc[order[b]], 1e-9)
+		return ua < ub
+	})
+
+	allowDown := func(int) bool { return true }
+	allowUp := func(int) bool { return true }
+	batchKs := append(append([]int(nil), s.Opts.BatchKs...), n-1)
+	// Two batch variants per k: a fine −0.2-core step and a −10%
+	// multiplicative step (the latter descends quickly from large
+	// overprovisioned allocations).
+	batchRatios := []float64{0, 0.9, 0.7}
+	if level == BrownoutTopK {
+		k := s.Opts.BrownoutTopK
+		if k > n {
+			k = n
+		}
+		downSet := make(map[int]bool, k)
+		upSet := make(map[int]bool, k)
+		for _, i := range order[:k] {
+			downSet[i] = true
+		}
+		for _, i := range order[n-k:] {
+			upSet[i] = true
+		}
+		allowDown = func(i int) bool { return downSet[i] }
+		allowUp = func(i int) bool { return upSet[i] }
+		batchKs = batchKs[:1]
+		batchRatios = batchRatios[:1]
+	}
 
 	downSteps := []float64{-0.2, -0.6, -1.0}
 	downRatios := []float64{0.9, 0.7}
@@ -460,6 +620,9 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 
 	// Scale Down: single tiers.
 	for i := 0; i < n; i++ {
+		if !allowDown(i) {
+			continue
+		}
 		seen := map[float64]bool{}
 		try := func(next float64) {
 			next = clamp(i, next)
@@ -480,26 +643,14 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 	}
 
 	// Scale Down Batch: the k least-utilized tiers, each −0.2 cores.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ua := st.Stats[order[a]].CPUUsage / math.Max(st.Alloc[order[a]], 1e-9)
-		ub := st.Stats[order[b]].CPUUsage / math.Max(st.Alloc[order[b]], 1e-9)
-		return ua < ub
-	})
-	for _, k := range append(append([]int(nil), s.Opts.BatchKs...), n-1) {
+	for _, k := range batchKs {
 		if k >= n {
 			k = n - 1
 		}
 		if k < 2 {
 			continue
 		}
-		// Two batch variants per k: a fine −0.2-core step and a −10%
-		// multiplicative step (the latter descends quickly from large
-		// overprovisioned allocations).
-		for _, ratio := range []float64{0, 0.9, 0.7} {
+		for _, ratio := range batchRatios {
 			alloc := append([]float64(nil), st.Alloc...)
 			changed := false
 			for _, i := range order[:k] {
@@ -522,6 +673,9 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 
 	// Scale Up: single tiers.
 	for i := 0; i < n; i++ {
+		if !allowUp(i) {
+			continue
+		}
 		seen := map[float64]bool{}
 		try := func(next float64) {
 			next = clamp(i, next)

@@ -306,6 +306,7 @@ func All() []Experiment {
 		{"ablation", "Ablations — loss function & violation-predictor features", Ablation},
 		{"table4", "Table 4 — explainability rankings", Table4},
 		{"chaos", "Chaos — QoS under predictor/agent/replica faults", Chaos},
+		{"overload", "Overload — admission control, load shedding & scheduler brownout", Overload},
 	}
 }
 

@@ -45,6 +45,13 @@ const (
 	// RPCBlips makes each model call fail independently with probability
 	// Value for the window — flaky-network noise rather than a hard outage.
 	RPCBlips
+	// PredictorOverload saturates the prediction service: the load a call
+	// adds scales with its batch size, so a call is shed with probability
+	// Value × batch/ShedRefBatch (certainty at ≥1), and calls that survive
+	// report a proportionally inflated cost through core.CostReporter. This
+	// is the centralized-predictor scalability bottleneck the brownout
+	// ladder exists for — smaller candidate batches genuinely relieve it.
+	PredictorOverload
 )
 
 // String returns the kind's mnemonic.
@@ -60,6 +67,8 @@ func (k Kind) String() string {
 		return "replica-crash"
 	case RPCBlips:
 		return "rpc-blips"
+	case PredictorOverload:
+		return "predictor-overload"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -120,6 +129,30 @@ func Standard(seed int64, duration float64, numTiers int) Plan {
 	return Plan{Seed: seed, Events: ev}
 }
 
+// Overload builds the schedule for the overload experiment: a moderate
+// predictor-overload window (some full batches survive), a sub-deadline
+// slowdown past the scheduler's SlowPredictMS budget, and a severe overload
+// window under which every full-size batch is shed and only browned-out
+// queries get through. Placement derives from seed exactly as in Standard.
+func Overload(seed int64, duration float64) Plan {
+	rng := sim.NewRNG(seed)
+	slot := func(i int, frac float64) (float64, float64) {
+		slotW := 0.8 * duration / 3
+		base := 0.15*duration + float64(i)*slotW
+		w := frac * slotW
+		start := base + rng.Float64()*(slotW-w)
+		return roundS(start), roundS(start + w)
+	}
+	var ev []Event
+	s, e := slot(0, 0.5)
+	ev = append(ev, Event{Kind: PredictorOverload, Start: s, End: e, Value: 0.5})
+	s, e = slot(1, 0.4)
+	ev = append(ev, Event{Kind: PredictorSlow, Start: s, End: e, Value: 0.4})
+	s, e = slot(2, 0.5)
+	ev = append(ev, Event{Kind: PredictorOverload, Start: s, End: e, Value: 1.5})
+	return Plan{Seed: seed, Events: ev}
+}
+
 // roundS keeps window edges on millisecond boundaries so plans print
 // cleanly and float noise cannot creep into comparisons.
 func roundS(t float64) float64 {
@@ -133,11 +166,31 @@ var (
 	ErrBlip    = errors.New("faults: injected RPC failure")
 )
 
+// ErrShed is the injected load-shed response of a PredictorOverload window.
+// It implements Overloaded() bool so core.IsOverload classifies it exactly
+// like predsvc.ErrOverloaded from a real overloaded service: the host is
+// alive but refused the query, and the scheduler should brown out rather
+// than retry at full size.
+var ErrShed error = shedErr{}
+
+type shedErr struct{}
+
+func (shedErr) Error() string    { return "faults: predictor overloaded: query shed" }
+func (shedErr) Overloaded() bool { return true }
+
+// ShedRefBatch is the reference batch size for PredictorOverload: a window
+// with Value v sheds a batch-b call with probability v×b/ShedRefBatch
+// (certainty at ≥1). 64 sits just below the scheduler's full Table-1
+// enumeration on the paper's applications, so a full batch at Value 1 is
+// always shed while a brownout-shrunk batch usually survives.
+const ShedRefBatch = 64.0
+
 // Counters tallies what an injector actually did, for experiment tables
 // and assertions.
 type Counters struct {
-	PredictorErrors int // model calls failed (outage + timeout + blips)
+	PredictorErrors int // model calls failed (outage + timeout + blips + sheds)
 	SlowCalls       int // calls delayed but under the deadline
+	ShedCalls       int // calls shed by an overload window
 	DroppedReports  int // tier-intervals with a silenced node agent
 	CrashWindows    int // replica-crash windows applied
 }
@@ -155,10 +208,17 @@ type Injector struct {
 	// predsvc's default call timeout.
 	Deadline float64
 
-	outage  bool
-	slow    float64
-	blipP   float64
-	dropped []bool
+	outage   bool
+	slow     float64
+	blipP    float64
+	overload float64 // PredictorOverload Value in force (0 = healthy)
+	dropped  []bool
+
+	// Cost of the last successful wrapped call in milliseconds, reported
+	// deterministically through core.CostReporter so the scheduler's
+	// brownout ladder sees injected slowness without any wall-clock
+	// dependence.
+	lastCostMS float64
 
 	n Counters
 }
@@ -215,6 +275,9 @@ func (in *Injector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
 		case RPCBlips:
 			eng.At(e.Start, func() { in.blipP = e.Value })
 			eng.At(e.End, func() { in.blipP = 0 })
+		case PredictorOverload:
+			eng.At(e.Start, func() { in.overload = e.Value })
+			eng.At(e.End, func() { in.overload = 0 })
 		default:
 			panic(fmt.Sprintf("faults: unknown kind %d", int(e.Kind)))
 		}
@@ -257,6 +320,11 @@ type faultyPredictor struct {
 
 func (f *faultyPredictor) Meta() core.ModelMeta { return f.base.Meta() }
 
+// LastPredictMS implements core.CostReporter: the injected cost of the last
+// successful call (slowdown or overload pressure), in milliseconds. Zero
+// while healthy.
+func (f *faultyPredictor) LastPredictMS() float64 { return f.in.lastCostMS }
+
 func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
 	inj := f.in
 	switch {
@@ -269,9 +337,33 @@ func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (
 	case inj.slow > 0:
 		inj.n.SlowCalls++
 	}
+	cost := inj.slow * 1000 // injected inference latency, ms
+	if inj.overload > 0 {
+		// Load scales with batch size: a saturated predictor sheds big
+		// candidate batches with near-certainty while a browned-out
+		// batch-of-one usually squeezes through.
+		batch := 1
+		if in.RH != nil {
+			batch = in.Batch()
+		}
+		load := inj.overload * float64(batch) / ShedRefBatch
+		if load >= 1 || inj.rng.Float64() < load {
+			inj.n.PredictorErrors++
+			inj.n.ShedCalls++
+			return nil, nil, ErrShed
+		}
+		// Survivors pay queueing delay proportional to load.
+		if c := load * inj.Deadline * 1000; c > cost {
+			cost = c
+		}
+	}
 	if inj.blipP > 0 && inj.rng.Float64() < inj.blipP {
 		inj.n.PredictorErrors++
 		return nil, nil, ErrBlip
 	}
-	return f.base.PredictBatch(ctx, in)
+	out, pviol, err := f.base.PredictBatch(ctx, in)
+	if err == nil {
+		inj.lastCostMS = cost
+	}
+	return out, pviol, err
 }

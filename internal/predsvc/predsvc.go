@@ -28,10 +28,16 @@ import (
 	"sinan/internal/tensor"
 )
 
-// PredictArgs is the wire form of one batched model query.
+// PredictArgs is the wire form of one batched model query. DeadlineMS, when
+// positive, is the caller's remaining deadline budget in milliseconds,
+// measured from the server's receipt of the request (a relative budget
+// needs no clock synchronisation): the server drops the request instead of
+// executing it once that budget is spent, because the client has already
+// timed out and the answer would be wasted work.
 type PredictArgs struct {
 	RH, LH, RC []float64
 	Batch      int
+	DeadlineMS float64
 }
 
 // PredictReply carries per-candidate latency predictions (ms, Batch×M,
@@ -48,17 +54,27 @@ type MetaReply struct {
 }
 
 // Service is the RPC-exported model host. Concurrent Predict RPCs run in
-// parallel: a trained model is immutable, so the only shared mutable state
-// is a pool of prediction contexts (one checked out per in-flight request)
-// and the atomically-swapped model pointer.
+// parallel up to the admission gate's concurrency limit: a trained model is
+// immutable, so the only shared mutable state is a pool of prediction
+// contexts (one checked out per in-flight request), the atomically-swapped
+// model pointer, and the gate itself.
 type Service struct {
 	model atomic.Pointer[core.HybridModel]
 	ctxs  sync.Pool
+	gate  *gate
 }
 
-// NewService wraps a hybrid model for serving.
+// NewService wraps a hybrid model for serving with default admission
+// control (concurrency sized to GOMAXPROCS, a small LIFO burst queue).
 func NewService(m *core.HybridModel) *Service {
-	s := &Service{}
+	return NewServiceWith(m, ServiceOptions{})
+}
+
+// NewServiceWith wraps a hybrid model for serving with explicit admission
+// options (a negative MaxConcurrent disables admission control — the
+// unprotected baseline).
+func NewServiceWith(m *core.HybridModel, opts ServiceOptions) *Service {
+	s := &Service{gate: newGate(opts)}
 	s.model.Store(m)
 	return s
 }
@@ -68,7 +84,11 @@ func NewService(m *core.HybridModel) *Service {
 // finish on the model they loaded; new requests see the new one.
 func (s *Service) Swap(m *core.HybridModel) { s.model.Store(m) }
 
-// Predict implements the RPC method.
+// Predict implements the RPC method. Requests pass the admission gate
+// before touching the model: saturated, the gate queues briefly and sheds
+// (ErrOverloaded) or expires (ErrExpired) the rest, so admitted requests
+// keep bounded latency no matter the offered load. Validation happens
+// before admission — malformed requests are refused, not shed.
 func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 	m := s.model.Load()
 	d := m.D
@@ -81,6 +101,15 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 		return fmt.Errorf("predsvc: input sizes %d/%d/%d do not match batch %d and dims %+v",
 			len(args.RH), len(args.LH), len(args.RC), args.Batch, d)
 	}
+	var deadline time.Time
+	if args.DeadlineMS > 0 {
+		deadline = s.gate.now().Add(time.Duration(args.DeadlineMS * float64(time.Millisecond)))
+	}
+	release, err := s.gate.acquire(deadline)
+	if err != nil {
+		return err
+	}
+	defer release()
 	in := nn.Inputs{
 		RH: tensor.FromSlice(args.RH, args.Batch, d.F, d.N, d.T),
 		LH: tensor.FromSlice(args.LH, args.Batch, d.T, d.M),
@@ -90,25 +119,41 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 	if ctx == nil {
 		ctx = core.NewPredictContext()
 	}
+	// Return the context via defer so the error path recycles it too — an
+	// error storm must not churn a fresh context per failed request.
+	defer s.ctxs.Put(ctx)
 	pred, pviol, err := m.PredictBatch(ctx, in)
 	if err != nil {
 		return err
 	}
-	// Copy out of the context before returning it to the pool: net/rpc
-	// encodes the reply after this method returns, by which time another
-	// request may be overwriting the context's buffers.
+	// Copy out of the context before returning: net/rpc encodes the reply
+	// after this method returns, by which time another request may be
+	// overwriting the context's buffers (the deferred Put runs first).
 	reply.Lat = append([]float64(nil), pred.Data...)
 	reply.M = d.M
 	reply.PViol = append([]float64(nil), pviol...)
-	s.ctxs.Put(ctx)
 	return nil
 }
 
-// Meta implements the RPC method.
+// Meta implements the RPC method. It bypasses the admission gate: metadata
+// is a cheap atomic load, and clients probing a saturated service must
+// still be able to dial.
 func (s *Service) Meta(_ *struct{}, reply *MetaReply) error {
 	reply.Meta = s.model.Load().Meta()
 	return nil
 }
+
+// Stats implements the RPC method: a snapshot of the admission gate's
+// counters, for operational visibility and the overload experiment. Like
+// Meta it bypasses the gate.
+func (s *Service) Stats(_ *struct{}, reply *StatsReply) error {
+	reply.Stats = s.gate.stats()
+	return nil
+}
+
+// StatsSnapshot returns the admission-control counters for in-process
+// callers.
+func (s *Service) StatsSnapshot() ServerStats { return s.gate.stats() }
 
 // Server owns a serving listener and tracks every connection it has
 // accepted, so Close can shut down gracefully: stop accepting, stop
@@ -116,6 +161,7 @@ func (s *Service) Meta(_ *struct{}, reply *MetaReply) error {
 type Server struct {
 	rpc *rpc.Server
 	lis net.Listener
+	svc *Service
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -129,8 +175,11 @@ func (s *Server) Addr() net.Addr { return s.lis.Addr() }
 // Close shuts the server down gracefully: the listener closes first (no
 // new connections), then every tracked connection stops reading (no new
 // requests; net/rpc finishes and answers the in-flight ones before its
-// per-connection loop exits), and Close blocks until all connection
-// goroutines have drained. Safe to call more than once.
+// per-connection loop exits), then the admission gate drains — requests
+// already executing finish normally, requests still queued for a slot are
+// rejected with a shed error so their goroutines answer immediately — and
+// Close blocks until all connection goroutines have drained. Safe to call
+// more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -148,6 +197,9 @@ func (s *Server) Close() error {
 		}
 	}
 	s.mu.Unlock()
+	if s.svc != nil {
+		s.svc.gate.close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -179,7 +231,7 @@ func Serve(l net.Listener, svc *Service) (*Server, error) {
 	if err := srv.RegisterName("Sinan", svc); err != nil {
 		return nil, err
 	}
-	s := &Server{rpc: srv, lis: l, conns: make(map[net.Conn]struct{})}
+	s := &Server{rpc: srv, lis: l, svc: svc, conns: make(map[net.Conn]struct{})}
 	go func() {
 		for {
 			conn, err := l.Accept()
@@ -199,14 +251,20 @@ func Serve(l net.Listener, svc *Service) (*Server, error) {
 	return s, nil
 }
 
-// ListenAndServe starts the service on the given TCP address and returns
-// the server handle (Close it to stop) plus the service for model swaps.
+// ListenAndServe starts the service on the given TCP address with default
+// admission control and returns the server handle (Close it to stop) plus
+// the service for model swaps.
 func ListenAndServe(addr string, m *core.HybridModel) (*Server, *Service, error) {
+	return ListenAndServeWith(addr, m, ServiceOptions{})
+}
+
+// ListenAndServeWith is ListenAndServe with explicit admission options.
+func ListenAndServeWith(addr string, m *core.HybridModel, opts ServiceOptions) (*Server, *Service, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	svc := NewService(m)
+	svc := NewServiceWith(m, opts)
 	s, err := Serve(l, svc)
 	if err != nil {
 		l.Close()
@@ -274,14 +332,19 @@ func (o ClientOptions) withDefaults() ClientOptions {
 }
 
 // ClientStats counts what the resilient client has done, for experiment
-// tables and operational visibility.
+// tables and operational visibility. Sheds and DeadlineExceeded are kept
+// apart from generic Errors so chaos experiments can distinguish "server
+// dead" (redials climbing) from "server shedding" (sheds climbing while
+// the connection stays up).
 type ClientStats struct {
-	Calls        int // PredictBatch invocations
-	Errors       int // invocations that returned an error
-	Retries      int // extra attempts after a failed one
-	Redials      int // reconnections established
-	BreakerOpens int // closed→open transitions
-	FastFails    int // calls rejected by an open breaker
+	Calls            int // PredictBatch invocations
+	Errors           int // invocations that returned an error
+	Retries          int // extra attempts after a failed one
+	Redials          int // reconnections established
+	BreakerOpens     int // closed→open transitions
+	FastFails        int // calls rejected by an open breaker
+	Sheds            int // calls the server's admission control shed
+	DeadlineExceeded int // attempts abandoned at a deadline (local timer or server-side expiry)
 }
 
 // Breaker states.
@@ -301,15 +364,16 @@ type Client struct {
 	addr string
 	opts ClientOptions
 
-	mu      sync.Mutex
-	conn    net.Conn
-	rpc     *rpc.Client
-	meta    core.ModelMeta
-	state   int // breaker
-	fails   int // consecutive failures
-	openedA time.Time
-	jitter  *rand.Rand
-	stats   ClientStats
+	mu         sync.Mutex
+	conn       net.Conn
+	rpc        *rpc.Client
+	meta       core.ModelMeta
+	state      int // breaker
+	fails      int // consecutive failures
+	openedA    time.Time
+	jitter     *rand.Rand
+	stats      ClientStats
+	lastCostMS float64 // wall cost of the last successful PredictBatch
 
 	// Test seams; wall-clock time never influences predictions, only retry
 	// pacing and breaker cooldowns.
@@ -380,6 +444,29 @@ func (c *Client) Stats() ClientStats {
 	return c.stats
 }
 
+// LastPredictMS implements core.CostReporter: the wall-clock cost of the
+// last successful PredictBatch (retries included). The scheduler's brownout
+// ladder uses it to shrink candidate batches while the service is slow but
+// not yet failing.
+func (c *Client) LastPredictMS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastCostMS
+}
+
+// ServerStats fetches the service's admission-control counters over the
+// wire (the Sinan.Stats RPC).
+func (c *Client) ServerStats() (ServerStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var reply StatsReply
+	if err := c.callOnce("Sinan.Stats", &struct{}{}, &reply, c.opts.CallTimeout); err != nil {
+		c.dropConn()
+		return ServerStats{}, err
+	}
+	return reply.Stats, nil
+}
+
 // PredictBatch implements core.Predictor by delegating to the service; the
 // prediction context is unused (per-call state lives on the server, which
 // keeps its own pool). Transport failures are retried with backoff and a
@@ -393,6 +480,9 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 		LH:    in.LH.Data,
 		RC:    in.RC.Data,
 		Batch: in.Batch(),
+		// Propagate the per-call deadline so the server can drop this
+		// request once we have given up waiting for it.
+		DeadlineMS: float64(c.opts.CallTimeout) / float64(time.Millisecond),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -402,15 +492,35 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 		c.stats.Errors++
 		return nil, nil, ErrUnavailable
 	}
+	start := c.now()
 	var reply PredictReply
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = c.callOnce("Sinan.Predict", args, &reply, c.opts.CallTimeout)
 		if err == nil {
 			c.breakerSuccess()
+			c.lastCostMS = float64(c.now().Sub(start)) / float64(time.Millisecond)
 			return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol, nil
 		}
-		c.dropConn()
+		if IsOverloaded(err) {
+			// Shed: the service is alive but saturated. Retrying now would
+			// add exactly the load it is shedding, so fail the call with
+			// the typed overload error — the scheduler answers by browning
+			// out, and the breaker still counts it (sustained shedding
+			// eventually opens it, giving the server air). The connection
+			// stays up: the server answered, the transport is healthy.
+			c.stats.Sheds++
+			c.stats.Errors++
+			c.breakerFailure()
+			return nil, nil, fmt.Errorf("predsvc: predict shed by overloaded service: %w", ErrOverloaded)
+		}
+		if IsExpired(err) {
+			// The server dropped the request as already-expired: a deadline
+			// loss, but over a healthy connection — retry without redialing.
+			c.stats.DeadlineExceeded++
+		} else {
+			c.dropConn()
+		}
 		if attempt >= c.opts.MaxRetries {
 			break
 		}
@@ -440,6 +550,7 @@ func (c *Client) callOnce(method string, args, reply interface{}, timeout time.D
 		return call.Error
 	case <-t.C:
 		c.dropConn()
+		c.stats.DeadlineExceeded++
 		return fmt.Errorf("predsvc: %s deadline (%v) exceeded", method, timeout)
 	}
 }

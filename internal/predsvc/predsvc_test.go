@@ -165,8 +165,12 @@ func TestClientIsSchedulerPredictor(t *testing.T) {
 // context pool and the atomic model pointer — must all produce the serial
 // answer. Under -race this doubles as the service's thread-safety proof.
 func TestServiceConcurrentPredict(t *testing.T) {
+	const workers = 8
 	m := tinyHybrid(t)
-	svc := NewService(m)
+	// Size the gate to the test's own concurrency: this test proves the
+	// model/context-pool thread safety, not admission control (which would
+	// shed under 8 callers on a small GOMAXPROCS).
+	svc := NewServiceWith(m, ServiceOptions{MaxConcurrent: workers})
 	in := mkBatch(m.D, 7)
 	args := &PredictArgs{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: 7}
 	var want PredictReply
@@ -174,7 +178,6 @@ func TestServiceConcurrentPredict(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const workers = 8
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -41,6 +41,7 @@ type Decision struct {
 	PredP99MS float64   // model-predicted p99 for the chosen action (0 if n/a)
 	PViol     float64   // model-predicted violation probability (0 if n/a)
 	Degraded  bool      // decided by a fallback path, not the model
+	Brownout  int       // brownout ladder level that shaped the decision (0 = full)
 }
 
 // Policy decides per-tier CPU allocations once per decision interval.
@@ -68,6 +69,7 @@ type TraceRow struct {
 	Total     float64   // aggregate allocated cores
 	Alloc     []float64 // per-tier allocation in force during the interval
 	Degraded  bool      // the decision came from a fallback path
+	Brownout  int       // brownout ladder level that shaped the decision
 }
 
 // FaultInjector is the hook through which a fault-injection plan attaches
@@ -167,6 +169,7 @@ func Run(cfg Config) *Result {
 				Total:     totalOf(state.Alloc),
 				Alloc:     append([]float64(nil), state.Alloc...),
 				Degraded:  dec.Degraded,
+				Brownout:  dec.Brownout,
 			})
 		}
 		cl.SetAlloc(dec.Alloc)

@@ -37,6 +37,12 @@ echo "== chaos smoke (race) =="
 # dedicated race-mode pass.
 go test -race -timeout 20m -run 'Chaos|Degraded|Breaker' ./...
 
+echo "== overload smoke (race) =="
+# Overload-control paths: the admission gate, client shed/deadline
+# accounting, the scheduler's brownout ladder, and the open-loop serving
+# drive are all concurrency-heavy, so they get their own race-mode pass.
+go test -race -timeout 20m -run 'Overload|Admission|Brownout|Shed|Gate|Deadline|Serving' ./...
+
 echo "== bench smoke =="
 go test -run='^$' -bench='ConvForward|PredictBatch' -benchtime=1x
 
