@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check overload bench bench-json speedup
+.PHONY: build test race vet check overload bench bench-json speedup telemetry-bench
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,11 @@ bench-json:
 # machine-readable {"bench":"suite_speedup",...} JSON line.
 speedup:
 	$(GO) test -run='^$$' -bench=BenchmarkSuiteSpeedup -benchtime=1x
+
+# Telemetry hot-path micro-benchmarks (Counter.Add, Histogram.Observe,
+# snapshotting); the alloc-free contract is asserted by the benchmarks
+# themselves, and the {"bench":...} lines land in BENCH_telemetry.json.
+telemetry-bench:
+	$(GO) test -run='^$$' -bench='CounterAdd$$|HistogramObserve$$' -benchtime=1000000x \
+		./internal/telemetry/ | grep '^{' > BENCH_telemetry.json
+	cat BENCH_telemetry.json

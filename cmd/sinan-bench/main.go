@@ -8,6 +8,12 @@
 //	sinan-bench -exp overload        # admission control & scheduler brownout
 //	sinan-bench -exp all             # everything, quick mode
 //	sinan-bench -list                # available experiments
+//
+// Telemetry: every managed run any experiment executes lands in the lab's
+// metrics registry (one child namespace per suite execution and run).
+// -metrics-addr serves the registry live as JSON at /metrics (plus pprof at
+// /debug/pprof/) while the experiments run; -metrics-json writes the final
+// snapshot to a file when all experiments have finished.
 package main
 
 import (
@@ -21,17 +27,20 @@ import (
 
 	"sinan/internal/experiments"
 	"sinan/internal/harness"
+	"sinan/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4, chaos) or 'all'")
-		full    = flag.Bool("full", false, "full-size runs (default: quick mode)")
-		list    = flag.Bool("list", false, "list available experiments")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		quiet   = flag.Bool("q", false, "suppress progress logging")
-		workers = flag.Int("workers", 0, "worker pool size for runs within an experiment (0 = GOMAXPROCS, 1 = serial)")
-		par     = flag.Bool("par", false, "run the selected experiments themselves concurrently (tables are buffered and printed in order)")
+		exp         = flag.String("exp", "all", "experiment id (fig3..fig16, table2..table4, chaos) or 'all'")
+		full        = flag.Bool("full", false, "full-size runs (default: quick mode)")
+		list        = flag.Bool("list", false, "list available experiments")
+		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
+		workers     = flag.Int("workers", 0, "worker pool size for runs within an experiment (0 = GOMAXPROCS, 1 = serial)")
+		par         = flag.Bool("par", false, "run the selected experiments themselves concurrently (tables are buffered and printed in order)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the lab's live JSON metrics and pprof on this address while experiments run")
+		metricsJSON = flag.String("metrics-json", "", "write the final telemetry snapshot to this file when done")
 	)
 	flag.Parse()
 
@@ -47,6 +56,27 @@ func main() {
 	lab.Workers = *workers
 	if *quiet {
 		lab.Log = nil
+	}
+	if *metricsAddr != "" {
+		msrv, maddr, err := telemetry.Serve(*metricsAddr, lab.Metrics)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof at /debug/pprof/)\n", maddr)
+	}
+	if *metricsJSON != "" {
+		defer func() {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				log.Printf("telemetry dump: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := lab.Metrics.Snapshot().WriteJSON(f); err != nil {
+				log.Printf("telemetry dump: %v", err)
+			}
+		}()
 	}
 
 	var todo []experiments.Experiment

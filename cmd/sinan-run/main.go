@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"sinan/internal/apps"
 	"sinan/internal/baselines"
@@ -124,6 +125,19 @@ func main() {
 		}
 		f.Close()
 		fmt.Fprintf(os.Stderr, "wrote trace CSV to %s\n", *csvPath)
+		// The run's telemetry snapshot rides along next to the trace: same
+		// path with a .metrics.json suffix, holding the run.* instruments
+		// plus whatever the policy registered (sched.* for Sinan).
+		mpath := strings.TrimSuffix(*csvPath, ".csv") + ".metrics.json"
+		mf, err := os.Create(mpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Metrics.Snapshot().WriteJSON(mf); err != nil {
+			log.Fatal(err)
+		}
+		mf.Close()
+		fmt.Fprintf(os.Stderr, "wrote run telemetry to %s\n", mpath)
 	}
 	if *trace {
 		fmt.Println("t(s)  rps   p99(ms)  pred(ms)  pviol  totalCPU")

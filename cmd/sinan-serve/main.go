@@ -14,6 +14,14 @@
 // (0 = 4x max-active, negative = no queue). Excess load is shed with a
 // typed overload error; requests whose propagated deadline expires while
 // queued are dropped unexecuted.
+//
+// With -metrics-addr the server also exposes its telemetry registry as live
+// JSON — admission outcomes, the Predict RPC latency histogram (p50/p95/
+// p99/p99.9), and the in-flight gauge — at /metrics (also /debug/vars) plus
+// the standard pprof handlers at /debug/pprof/:
+//
+//	sinan-serve -model hotel.model -addr :9090 -metrics-addr :9091
+//	curl -s localhost:9091/metrics
 package main
 
 import (
@@ -25,14 +33,16 @@ import (
 
 	"sinan/internal/core"
 	"sinan/internal/predsvc"
+	"sinan/internal/telemetry"
 )
 
 func main() {
 	var (
-		model     = flag.String("model", "sinan.model", "hybrid model path")
-		addr      = flag.String("addr", "127.0.0.1:9090", "listen address")
-		maxActive = flag.Int("max-active", 0, "max concurrent predictions (0 = GOMAXPROCS, <0 = no admission control)")
-		maxQueue  = flag.Int("max-queue", 0, "max queued predictions (0 = 4x max-active, <0 = no queue)")
+		model       = flag.String("model", "sinan.model", "hybrid model path")
+		addr        = flag.String("addr", "127.0.0.1:9090", "listen address")
+		maxActive   = flag.Int("max-active", 0, "max concurrent predictions (0 = GOMAXPROCS, <0 = no admission control)")
+		maxQueue    = flag.Int("max-queue", 0, "max queued predictions (0 = 4x max-active, <0 = no queue)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics and pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -49,6 +59,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "serving %s on %s (QoS %.0fms, pd=%.3f pu=%.3f)\n",
 		*model, srv.Addr(), m.QoSMS, m.Pd, m.Pu)
+	if *metricsAddr != "" {
+		msrv, maddr, err := telemetry.Serve(*metricsAddr, svc.Metrics())
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof at /debug/pprof/)\n", maddr)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -70,8 +70,8 @@ func TestBrownoutEscalatesOnShedsAndRecoversHysteretically(t *testing.T) {
 		}
 		alloc = dec.Alloc
 	}
-	if s.PredictSheds != len(wantLevels) {
-		t.Fatalf("PredictSheds = %d, want %d", s.PredictSheds, len(wantLevels))
+	if s.PredictSheds() != len(wantLevels) {
+		t.Fatalf("PredictSheds = %d, want %d", s.PredictSheds(), len(wantLevels))
 	}
 	if s.BrownoutLevel() != BrownoutHold {
 		t.Fatalf("level = %d after sustained shedding, want hold", s.BrownoutLevel())
@@ -117,9 +117,9 @@ func TestBrownoutSlowQueriesEscalate(t *testing.T) {
 	if s.BrownoutLevel() != BrownoutTopK {
 		t.Fatalf("level = %d after a slow query, want top-k", s.BrownoutLevel())
 	}
-	if s.PredictErrors != 0 || s.PredictSheds != 0 {
+	if s.PredictErrors() != 0 || s.PredictSheds() != 0 {
 		t.Fatalf("slow successes must not count as errors: errors=%d sheds=%d",
-			s.PredictErrors, s.PredictSheds)
+			s.PredictErrors(), s.PredictSheds())
 	}
 
 	// Healthy-again queries recover with the same hysteresis.
@@ -182,13 +182,13 @@ func TestNoBrownoutStaysRigid(t *testing.T) {
 		}
 		alloc = dec.Alloc
 	}
-	if s.BrownoutLevel() != BrownoutNone || s.BrownoutIntervals != 0 {
+	if s.BrownoutLevel() != BrownoutNone || s.BrownoutIntervals() != 0 {
 		t.Fatalf("rigid scheduler browned out: level=%d intervals=%d",
-			s.BrownoutLevel(), s.BrownoutIntervals)
+			s.BrownoutLevel(), s.BrownoutIntervals())
 	}
 	// Sheds are still classified and counted even with the ladder disabled.
-	if s.PredictSheds != 4 {
-		t.Fatalf("PredictSheds = %d, want 4", s.PredictSheds)
+	if s.PredictSheds() != 4 {
+		t.Fatalf("PredictSheds = %d, want 4", s.PredictSheds())
 	}
 }
 

@@ -66,8 +66,8 @@ func TestSchedulerDegradesOnPredictorErrorAndRecovers(t *testing.T) {
 		}
 		alloc = dec.Alloc
 	}
-	if s.PredictErrors != 5 || s.DegradedIntervals != 5 {
-		t.Fatalf("counters: errors=%d degraded=%d, want 5/5", s.PredictErrors, s.DegradedIntervals)
+	if s.PredictErrors() != 5 || s.DegradedIntervals() != 5 {
+		t.Fatalf("counters: errors=%d degraded=%d, want 5/5", s.PredictErrors(), s.DegradedIntervals())
 	}
 
 	// High utilisation while degraded must provoke a conservative upscale.
@@ -83,8 +83,8 @@ func TestSchedulerDegradesOnPredictorErrorAndRecovers(t *testing.T) {
 	if dec.Degraded || s.Degraded() {
 		t.Fatal("successful model query should end degraded mode")
 	}
-	if s.Recoveries != 1 {
-		t.Fatalf("recoveries = %d, want 1", s.Recoveries)
+	if s.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1", s.Recoveries())
 	}
 	// Post-recovery grace: no reclamation until the victim window expires.
 	preTotal := total(alloc)

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"sinan/internal/apps"
 	"sinan/internal/cluster"
@@ -10,6 +11,7 @@ import (
 	"sinan/internal/metrics"
 	"sinan/internal/nn"
 	"sinan/internal/runner"
+	"sinan/internal/telemetry"
 	"sinan/internal/tensor"
 )
 
@@ -144,31 +146,45 @@ type Scheduler struct {
 	downAge           []int // intervals since tier was last scaled down
 	mistrust          int
 	cooldown          int // intervals to hold after an emergency upscale
-	Mispredictions    int
 
 	// Degraded-mode state: when the predictor errors (model host down,
 	// breaker open, injected outage) the scheduler runs its conservative
 	// built-in fallback until a model query succeeds again. lastGood /
 	// staleFor back hold-last-value imputation of missing tier stats.
-	degraded          bool
-	noDownFor         int // post-recovery intervals with reclamation suppressed
-	lastGood          []cluster.Stats
-	staleFor          []int
-	missing           []bool
-	PredictErrors     int // model queries that returned an error
-	DegradedIntervals int // intervals decided by the fallback policy
-	Recoveries        int // degraded → model-driven transitions
+	degraded  bool
+	noDownFor int // post-recovery intervals with reclamation suppressed
+	lastGood  []cluster.Stats
+	staleFor  []int
+	missing   []bool
 
 	// Brownout ladder state: while the prediction path is slow, shed, or
 	// erroring, the scheduler shrinks its candidate enumeration (full →
 	// top-k tiers → hold-only) instead of missing its decision interval,
 	// and recovers one level per BrownoutRecover consecutive healthy
 	// queries.
-	brownLevel        int
-	brownGood         int // consecutive healthy queries at the current level
-	PredictSheds      int // predictor errors classified as load sheds
-	BrownoutIntervals int // decisions shaped by a non-zero brownout level
-	CandidatesScored  int // total candidates sent to the model (batch economics)
+	brownLevel int
+	brownGood  int // consecutive healthy queries at the current level
+
+	// Telemetry instruments ("sched.*"). All operational tallies live here
+	// — the exported accessors (Mispredictions, PredictErrors, ...) are
+	// views over these counters. AttachMetrics rebinds the handles onto a
+	// per-run registry; the counters themselves are deterministic (driven by
+	// simulated time), while the two *_ms histograms record wall-clock cost
+	// and are, by the naming convention, the only nondeterministic
+	// instruments.
+	reg               *telemetry.Registry
+	mispredictions    *telemetry.Counter
+	predictErrors     *telemetry.Counter
+	predictSheds      *telemetry.Counter
+	degradedIntervals *telemetry.Counter
+	recoveries        *telemetry.Counter
+	brownoutIntervals *telemetry.Counter
+	candidatesScored  *telemetry.Counter
+	brownoutGauge     *telemetry.Gauge     // current ladder level
+	degradedGauge     *telemetry.Gauge     // 1 while in fallback mode
+	decideLatMS       *telemetry.Histogram // wall cost of each Decide
+	predictLatMS      *telemetry.Histogram // wall cost of each model query
+	candBatch         *telemetry.Histogram // candidate batch sizes sent to the model
 
 	// Per-scheduler model-evaluation state: the prediction context and the
 	// reused candidate-batch input tensors. These make the steady-state
@@ -215,8 +231,59 @@ func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler 
 	for i := range s.downAge {
 		s.downAge[i] = 1 << 30
 	}
+	s.AttachMetrics(telemetry.NewRegistry())
 	return s
 }
+
+// AttachMetrics implements telemetry.Attacher: it rebinds the scheduler's
+// instruments ("sched.*") onto reg so subsequent decisions are counted
+// there. The runner calls it with the per-run registry before the run
+// starts; counts recorded on a previously attached registry stay there.
+func (s *Scheduler) AttachMetrics(reg *telemetry.Registry) {
+	s.reg = reg
+	s.mispredictions = reg.Counter("sched.mispredictions")
+	s.predictErrors = reg.Counter("sched.predict.errors")
+	s.predictSheds = reg.Counter("sched.predict.sheds")
+	s.degradedIntervals = reg.Counter("sched.degraded.intervals")
+	s.recoveries = reg.Counter("sched.degraded.recoveries")
+	s.brownoutIntervals = reg.Counter("sched.brownout.intervals")
+	s.candidatesScored = reg.Counter("sched.candidates.scored")
+	s.brownoutGauge = reg.Gauge("sched.brownout.level")
+	s.degradedGauge = reg.Gauge("sched.degraded")
+	s.decideLatMS = reg.Histogram("sched.decide.latency_ms")
+	s.predictLatMS = reg.Histogram("sched.predict.latency_ms")
+	s.candBatch = reg.Histogram("sched.candidates.batch")
+}
+
+// Metrics returns the registry the scheduler's instruments currently live
+// on.
+func (s *Scheduler) Metrics() *telemetry.Registry { return s.reg }
+
+// Mispredictions returns the count of QoS violations the model failed to
+// predict (the trust-erosion signal of Sec. 4.3).
+func (s *Scheduler) Mispredictions() int { return int(s.mispredictions.Value()) }
+
+// PredictErrors returns the count of model queries that returned an error.
+func (s *Scheduler) PredictErrors() int { return int(s.predictErrors.Value()) }
+
+// PredictSheds returns the count of predictor errors classified as load
+// sheds (the service alive but refusing work).
+func (s *Scheduler) PredictSheds() int { return int(s.predictSheds.Value()) }
+
+// DegradedIntervals returns the count of intervals decided by the fallback
+// policy.
+func (s *Scheduler) DegradedIntervals() int { return int(s.degradedIntervals.Value()) }
+
+// Recoveries returns the count of degraded → model-driven transitions.
+func (s *Scheduler) Recoveries() int { return int(s.recoveries.Value()) }
+
+// BrownoutIntervals returns the count of decisions shaped by a non-zero
+// brownout level.
+func (s *Scheduler) BrownoutIntervals() int { return int(s.brownoutIntervals.Value()) }
+
+// CandidatesScored returns the total number of candidates sent to the model
+// (the batch-economics denominator).
+func (s *Scheduler) CandidatesScored() int { return int(s.candidatesScored.Value()) }
 
 // SchedulerFactory returns a runner.PolicyFactory producing a fresh Sinan
 // scheduler per managed run. The hybrid model is shared by every run — a
@@ -236,6 +303,16 @@ func (s *Scheduler) Name() string { return "Sinan" }
 
 // Decide implements runner.Policy.
 func (s *Scheduler) Decide(st runner.State) runner.Decision {
+	start := time.Now()
+	defer func() {
+		s.decideLatMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		s.brownoutGauge.Set(float64(s.brownoutLevel()))
+		if s.degraded {
+			s.degradedGauge.Set(1)
+		} else {
+			s.degradedGauge.Set(0)
+		}
+	}()
 	d := s.meta.D
 	st = s.imputeStats(st)
 	if s.noDownFor > 0 {
@@ -246,8 +323,8 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	// an immediate upscale of all tiers and erodes trust (Sec. 4.3).
 	violated := st.Perc.P99() > s.meta.QoSMS || st.Perc.Drops > 0
 	if violated && s.lastPredValid && s.lastPredP99 <= s.meta.QoSMS-s.meta.RMSEValid {
-		s.Mispredictions++
-		if s.Mispredictions > s.Opts.TrustThreshold {
+		s.mispredictions.Inc()
+		if int(s.mispredictions.Value()) > s.Opts.TrustThreshold {
 			s.mistrust++
 		}
 		s.pushHistory(st, d)
@@ -291,10 +368,11 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 	// sent to the model.
 	level := s.brownoutLevel()
 	if level > BrownoutNone {
-		s.BrownoutIntervals++
+		s.brownoutIntervals.Inc()
 	}
 	cands := s.candidates(st)
-	s.CandidatesScored += len(cands)
+	s.candidatesScored.Add(int64(len(cands)))
+	s.candBatch.Observe(float64(len(cands)))
 	pred, pviol, err := s.predictCandidates(cands, d)
 	if err != nil {
 		// Model path unavailable: degrade to the conservative built-in
@@ -304,9 +382,9 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 		// A shed is pressure for the brownout ladder on top of being a
 		// degraded interval: the host is alive but refusing work, so the
 		// productive response is a smaller batch next interval.
-		s.PredictErrors++
+		s.predictErrors.Inc()
 		if IsOverload(err) {
-			s.PredictSheds++
+			s.predictSheds.Inc()
 		}
 		s.brownoutPressure()
 		dec := s.fallbackDecision(st, violated)
@@ -320,7 +398,7 @@ func (s *Scheduler) Decide(st runner.State) runner.Decision {
 		// window so the model decides from refreshed history before any
 		// capacity is taken away.
 		s.degraded = false
-		s.Recoveries++
+		s.recoveries.Inc()
 		s.noDownFor = s.Opts.VictimWindow
 	}
 
@@ -437,7 +515,7 @@ func (s *Scheduler) imputeStats(st runner.State) runner.State {
 // without a model. Observed violations still trigger the emergency ramp.
 func (s *Scheduler) fallbackDecision(st runner.State, violated bool) runner.Decision {
 	s.degraded = true
-	s.DegradedIntervals++
+	s.degradedIntervals.Inc()
 	s.lastPredValid = false
 	if violated {
 		return runner.Decision{Alloc: s.biasStale(s.boosted(st.Alloc)), PViol: 1, Degraded: true}
@@ -739,7 +817,10 @@ func (s *Scheduler) predictCandidates(cands []candidate, d nn.Dims) (*tensor.Den
 		copy(s.candIn.LH.Data[i*len(lhRow):(i+1)*len(lhRow)], lhRow)
 		copy(s.candIn.RC.Data[i*d.N:(i+1)*d.N], cands[i].alloc)
 	}
-	return s.M.PredictBatch(s.predCtx, s.candIn)
+	start := time.Now()
+	pred, pviol, err := s.M.PredictBatch(s.predCtx, s.candIn)
+	s.predictLatMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return pred, pviol, err
 }
 
 // selectCandidate applies the filters of Sec. 4.3 and returns the index of

@@ -162,8 +162,8 @@ func TestSchedulerSafetyUpscaleOnMispredictedViolation(t *testing.T) {
 			t.Fatalf("safety upscale missing: tier %d at %v, want ≥ %v", i, a, want)
 		}
 	}
-	if s.Mispredictions != 1 {
-		t.Fatalf("misprediction counter = %d", s.Mispredictions)
+	if s.Mispredictions() != 1 {
+		t.Fatalf("misprediction counter = %d", s.Mispredictions())
 	}
 	// Still violating inside the cool-down: the ramp keeps going up.
 	prev = dec.Alloc

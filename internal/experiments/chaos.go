@@ -63,8 +63,8 @@ func Chaos(l *Lab) []*Table {
 			}
 			errs, recov := "-", "-"
 			if s, ok := schedulerOf(run.Policy); ok {
-				errs = fmt.Sprintf("%d", s.PredictErrors)
-				recov = fmt.Sprintf("%d", s.Recoveries)
+				errs = fmt.Sprintf("%d", s.PredictErrors())
+				recov = fmt.Sprintf("%d", s.Recoveries())
 			}
 			t.Rows = append(t.Rows, []string{
 				run.Spec.Name,
@@ -147,9 +147,9 @@ func (p *latchingPolicy) Decide(st runner.State) runner.Decision {
 	if p.dead {
 		return runner.Decision{Alloc: st.Alloc}
 	}
-	before := p.s.PredictErrors
+	before := p.s.PredictErrors()
 	dec := p.s.Decide(st)
-	if p.s.PredictErrors > before {
+	if p.s.PredictErrors() > before {
 		p.dead = true
 		return runner.Decision{Alloc: st.Alloc}
 	}

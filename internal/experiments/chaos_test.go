@@ -80,12 +80,12 @@ func TestChaosFallbackDegradesAndRecovers(t *testing.T) {
 	if !ok {
 		t.Fatal("fallback policy is not a Sinan scheduler")
 	}
-	if s.PredictErrors == 0 {
+	if s.PredictErrors() == 0 {
 		t.Fatal("fault schedule never reached the predictor")
 	}
-	if s.DegradedIntervals == 0 || s.Recoveries == 0 {
+	if s.DegradedIntervals() == 0 || s.Recoveries() == 0 {
 		t.Fatalf("fallback never cycled degraded→recovered: degraded=%d recoveries=%d",
-			s.DegradedIntervals, s.Recoveries)
+			s.DegradedIntervals(), s.Recoveries())
 	}
 	degraded := 0
 	lastDegraded := -1
@@ -122,8 +122,8 @@ func TestChaosFallbackDegradesAndRecovers(t *testing.T) {
 			t.Fatal("no-fault run should stay model-driven")
 		}
 	}
-	if sNF, _ := schedulerOf(nf.Policy); sNF.PredictErrors != 0 {
-		t.Fatalf("no-fault run saw %d predictor errors", sNF.PredictErrors)
+	if sNF, _ := schedulerOf(nf.Policy); sNF.PredictErrors() != 0 {
+		t.Fatalf("no-fault run saw %d predictor errors", sNF.PredictErrors())
 	}
 }
 

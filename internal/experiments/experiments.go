@@ -19,6 +19,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/dataset"
 	"sinan/internal/harness"
+	"sinan/internal/telemetry"
 )
 
 // Table is a rendered experiment result.
@@ -108,6 +109,11 @@ type Lab struct {
 	// Workers sizes the harness worker pools the experiment drivers use
 	// (<= 0 means GOMAXPROCS).
 	Workers int
+	// Metrics is the lab's telemetry root: every suite any experiment runs
+	// lands in it under a per-execution group ("<suite>#k") with one child
+	// registry per run. Serve it live (sinan-bench -metrics-addr) or dump a
+	// snapshot at the end of a session. Always non-nil after NewLab.
+	Metrics *telemetry.Registry
 
 	logMu sync.Mutex
 
@@ -131,6 +137,7 @@ func NewLab(quick bool, log io.Writer) *Lab {
 	return &Lab{
 		Quick:     quick,
 		Log:       log,
+		Metrics:   telemetry.NewRegistry(),
 		collectFn: collect.Run,
 		trainFn:   core.TrainHybrid,
 	}
@@ -157,7 +164,7 @@ func (l *Lab) workers() int {
 func (l *Lab) runSuite(name string, baseSeed int64, specs []harness.RunSpec) []harness.Outcome {
 	return harness.Run(
 		harness.Suite{Name: name, BaseSeed: baseSeed, Specs: specs},
-		harness.Options{Workers: l.workers()},
+		harness.Options{Workers: l.workers(), Metrics: l.Metrics},
 	)
 }
 

@@ -103,7 +103,7 @@ func Fig10(l *Lab) []*Table {
 		t.Rows = append(t.Rows, []string{
 			variants[i].name, pct(variants[i].ds.ViolationRate()), f1(bias),
 			pct(res.Meter.MeetProb()), f1(res.Meter.MeanAlloc()),
-			fmt.Sprintf("%d", sched.Mispredictions),
+			fmt.Sprintf("%d", sched.Mispredictions()),
 		})
 		l.logf("fig10: %s deployed (bias %.1f, meet %.3f)", variants[i].name, bias, res.Meter.MeetProb())
 	}

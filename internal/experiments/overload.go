@@ -60,11 +60,11 @@ func Overload(l *Lab) []*Table {
 		res := run.Result
 		brown, sheds, degr, errs, cands := "-", "-", "-", "-", "-"
 		if s, ok := schedulerOf(run.Policy); ok {
-			brown = fmt.Sprintf("%d", s.BrownoutIntervals)
-			sheds = fmt.Sprintf("%d", s.PredictSheds)
-			degr = fmt.Sprintf("%d", s.DegradedIntervals)
-			errs = fmt.Sprintf("%d", s.PredictErrors)
-			cands = fmt.Sprintf("%d", s.CandidatesScored)
+			brown = fmt.Sprintf("%d", s.BrownoutIntervals())
+			sheds = fmt.Sprintf("%d", s.PredictSheds())
+			degr = fmt.Sprintf("%d", s.DegradedIntervals())
+			errs = fmt.Sprintf("%d", s.PredictErrors())
+			cands = fmt.Sprintf("%d", s.CandidatesScored())
 		}
 		t.Rows = append(t.Rows, []string{
 			run.Spec.Name,

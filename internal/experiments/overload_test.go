@@ -53,9 +53,9 @@ func TestOverloadBrownoutLadderEngages(t *testing.T) {
 	}
 
 	// The fault schedule reached the prediction path and the ladder answered.
-	if brown.PredictSheds == 0 || brown.BrownoutIntervals == 0 {
+	if brown.PredictSheds() == 0 || brown.BrownoutIntervals() == 0 {
 		t.Fatalf("ladder never engaged: sheds=%d brownout intervals=%d",
-			brown.PredictSheds, brown.BrownoutIntervals)
+			brown.PredictSheds(), brown.BrownoutIntervals())
 	}
 	bt := byName["hotel/sinan-brownout"].Result.Trace
 	maxLevel := 0
@@ -82,27 +82,27 @@ func TestOverloadBrownoutLadderEngages(t *testing.T) {
 
 	// The rigid baseline keeps full batches: no brownout anywhere, far more
 	// sheds, and more intervals spent on the blind fallback.
-	if rigid.BrownoutIntervals != 0 {
-		t.Fatalf("rigid variant browned out %d intervals", rigid.BrownoutIntervals)
+	if rigid.BrownoutIntervals() != 0 {
+		t.Fatalf("rigid variant browned out %d intervals", rigid.BrownoutIntervals())
 	}
 	for i, row := range rt {
 		if row.Brownout != core.BrownoutNone {
 			t.Fatalf("rigid trace records brownout level %d at interval %d", row.Brownout, i)
 		}
 	}
-	if rigid.PredictSheds <= brown.PredictSheds {
+	if rigid.PredictSheds() <= brown.PredictSheds() {
 		t.Fatalf("full batches should be shed more often: rigid=%d brownout=%d",
-			rigid.PredictSheds, brown.PredictSheds)
+			rigid.PredictSheds(), brown.PredictSheds())
 	}
-	if rigid.DegradedIntervals <= brown.DegradedIntervals {
+	if rigid.DegradedIntervals() <= brown.DegradedIntervals() {
 		t.Fatalf("brownout should cut time on the blind fallback: rigid=%d brownout=%d",
-			rigid.DegradedIntervals, brown.DegradedIntervals)
+			rigid.DegradedIntervals(), brown.DegradedIntervals())
 	}
 
 	// The no-fault anchor stays clean.
-	if nofault.PredictErrors != 0 || nofault.BrownoutIntervals != 0 {
+	if nofault.PredictErrors() != 0 || nofault.BrownoutIntervals() != 0 {
 		t.Fatalf("no-fault run saw errors=%d brownout=%d",
-			nofault.PredictErrors, nofault.BrownoutIntervals)
+			nofault.PredictErrors(), nofault.BrownoutIntervals())
 	}
 }
 

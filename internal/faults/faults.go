@@ -19,6 +19,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/nn"
 	"sinan/internal/sim"
+	"sinan/internal/telemetry"
 	"sinan/internal/tensor"
 )
 
@@ -186,7 +187,9 @@ func (shedErr) Overloaded() bool { return true }
 const ShedRefBatch = 64.0
 
 // Counters tallies what an injector actually did, for experiment tables
-// and assertions.
+// and assertions. It is a thin view assembled from the injector's telemetry
+// registry (the counters under "faults.*"); the struct form is kept so
+// existing experiment code and tests read the same names as before.
 type Counters struct {
 	PredictorErrors int // model calls failed (outage + timeout + blips + sheds)
 	SlowCalls       int // calls delayed but under the deadline
@@ -220,21 +223,60 @@ type Injector struct {
 	// dependence.
 	lastCostMS float64
 
-	n Counters
+	// Telemetry instruments ("faults.*"). The runner rebinds them onto the
+	// per-run registry via AttachMetrics; all counts are driven by the sim
+	// clock and the plan's seeded RNG, so they are fully deterministic.
+	reg             *telemetry.Registry
+	predictorErrors *telemetry.Counter
+	slowCalls       *telemetry.Counter
+	shedCalls       *telemetry.Counter
+	droppedReports  *telemetry.Counter
+	crashWindows    *telemetry.Counter
 }
 
 // New returns an injector for the plan. Window sanity (ordering, bounds)
 // is checked on Bind.
 func New(plan Plan) *Injector {
-	return &Injector{
+	in := &Injector{
 		plan:     plan,
 		rng:      sim.NewRNG(plan.Seed ^ 0x5ad5ad),
 		Deadline: 1.0,
 	}
+	in.AttachMetrics(telemetry.NewRegistry())
+	return in
 }
 
-// Counters returns the injector's tallies so far.
-func (in *Injector) Counters() Counters { return in.n }
+// AttachMetrics implements telemetry.Attacher: it rebinds the injector's
+// instruments onto reg so the run's registry carries the fault story too.
+// The runner calls it after Bind but before the first interval; the window
+// callbacks Bind scheduled read the handles through the injector, so they
+// land on the rebound registry.
+func (in *Injector) AttachMetrics(reg *telemetry.Registry) {
+	in.reg = reg
+	in.predictorErrors = reg.Counter("faults.predictor.errors")
+	in.slowCalls = reg.Counter("faults.predictor.slow_calls")
+	in.shedCalls = reg.Counter("faults.predictor.sheds")
+	in.droppedReports = reg.Counter("faults.reports.dropped")
+	in.crashWindows = reg.Counter("faults.crash.windows")
+}
+
+// markInjected counts one fault window going active, labelled by kind. The
+// lookup goes through the registry (cold path) because windows are rare —
+// a handful per run — and the handle must follow AttachMetrics rebinds.
+func (in *Injector) markInjected(k Kind) {
+	in.reg.Counter("faults.injected", "kind", k.String()).Inc()
+}
+
+// Counters assembles the tallies view from the injector's instruments.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		PredictorErrors: int(in.predictorErrors.Value()),
+		SlowCalls:       int(in.slowCalls.Value()),
+		ShedCalls:       int(in.shedCalls.Value()),
+		DroppedReports:  int(in.droppedReports.Value()),
+		CrashWindows:    int(in.crashWindows.Value()),
+	}
+}
 
 // Bind schedules the plan's windows on the run's engine. Implements
 // runner.FaultInjector; called by the runner once, before the first
@@ -251,16 +293,16 @@ func (in *Injector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
 		}
 		switch e.Kind {
 		case PredictorOutage:
-			eng.At(e.Start, func() { in.outage = true })
+			eng.At(e.Start, func() { in.markInjected(e.Kind); in.outage = true })
 			eng.At(e.End, func() { in.outage = false })
 		case PredictorSlow:
-			eng.At(e.Start, func() { in.slow = e.Value })
+			eng.At(e.Start, func() { in.markInjected(e.Kind); in.slow = e.Value })
 			eng.At(e.End, func() { in.slow = 0 })
 		case MetricDropout:
 			if e.Tier < 0 || e.Tier >= cl.NumTiers() {
 				panic(fmt.Sprintf("faults: metric-dropout tier %d out of range", e.Tier))
 			}
-			eng.At(e.Start, func() { in.dropped[e.Tier] = true })
+			eng.At(e.Start, func() { in.markInjected(e.Kind); in.dropped[e.Tier] = true })
 			eng.At(e.End, func() { in.dropped[e.Tier] = false })
 		case ReplicaCrash:
 			if e.Tier < 0 || e.Tier >= cl.NumTiers() {
@@ -268,15 +310,16 @@ func (in *Injector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
 			}
 			t := cl.Tiers()[e.Tier]
 			eng.At(e.Start, func() {
-				in.n.CrashWindows++
+				in.markInjected(e.Kind)
+				in.crashWindows.Inc()
 				t.SetAliveFraction(e.Value)
 			})
 			eng.At(e.End, func() { t.SetAliveFraction(1) })
 		case RPCBlips:
-			eng.At(e.Start, func() { in.blipP = e.Value })
+			eng.At(e.Start, func() { in.markInjected(e.Kind); in.blipP = e.Value })
 			eng.At(e.End, func() { in.blipP = 0 })
 		case PredictorOverload:
-			eng.At(e.Start, func() { in.overload = e.Value })
+			eng.At(e.Start, func() { in.markInjected(e.Kind); in.overload = e.Value })
 			eng.At(e.End, func() { in.overload = 0 })
 		default:
 			panic(fmt.Sprintf("faults: unknown kind %d", int(e.Kind)))
@@ -299,7 +342,7 @@ func (in *Injector) MaskStats(stats []cluster.Stats) []bool {
 			}
 			ok[i] = false
 			stats[i] = cluster.Stats{}
-			in.n.DroppedReports++
+			in.droppedReports.Inc()
 		}
 	}
 	return ok
@@ -329,13 +372,13 @@ func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (
 	inj := f.in
 	switch {
 	case inj.outage:
-		inj.n.PredictorErrors++
+		inj.predictorErrors.Inc()
 		return nil, nil, ErrOutage
 	case inj.slow >= inj.Deadline:
-		inj.n.PredictorErrors++
+		inj.predictorErrors.Inc()
 		return nil, nil, ErrTimeout
 	case inj.slow > 0:
-		inj.n.SlowCalls++
+		inj.slowCalls.Inc()
 	}
 	cost := inj.slow * 1000 // injected inference latency, ms
 	if inj.overload > 0 {
@@ -348,8 +391,8 @@ func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (
 		}
 		load := inj.overload * float64(batch) / ShedRefBatch
 		if load >= 1 || inj.rng.Float64() < load {
-			inj.n.PredictorErrors++
-			inj.n.ShedCalls++
+			inj.predictorErrors.Inc()
+			inj.shedCalls.Inc()
 			return nil, nil, ErrShed
 		}
 		// Survivors pay queueing delay proportional to load.
@@ -358,7 +401,7 @@ func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (
 		}
 	}
 	if inj.blipP > 0 && inj.rng.Float64() < inj.blipP {
-		inj.n.PredictorErrors++
+		inj.predictorErrors.Inc()
 		return nil, nil, ErrBlip
 	}
 	out, pviol, err := f.base.PredictBatch(ctx, in)

@@ -28,6 +28,7 @@ import (
 	"sinan/internal/apps"
 	"sinan/internal/dataset"
 	"sinan/internal/runner"
+	"sinan/internal/telemetry"
 	"sinan/internal/workload"
 )
 
@@ -90,6 +91,12 @@ type Options struct {
 	// Progress, when set, receives one "k/n name" line per completed run
 	// (in completion order; purely informational).
 	Progress io.Writer
+	// Metrics, when set, is the root registry the suite's telemetry hangs
+	// on. Each execution of the suite gets a uniquely-named group child
+	// ("<suite>#k"), and each run a child of that named by spec index and
+	// name ("007-specname"), so re-running a suite never double-counts and
+	// per-run namespaces are deterministic regardless of worker count.
+	Metrics *telemetry.Registry
 }
 
 // Run executes every spec of the suite and returns outcomes in spec order.
@@ -120,6 +127,11 @@ func Run(suite Suite, opt Options) []Outcome {
 		}
 	}
 
+	var group *telemetry.Registry
+	if opt.Metrics != nil {
+		group = opt.Metrics.Group(suite.Name)
+	}
+
 	outcomes := make([]Outcome, n)
 	jobs := make(chan int)
 	completed := make(chan int)
@@ -129,7 +141,11 @@ func Run(suite Suite, opt Options) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outcomes[i] = execute(i, suite.Specs[i], seeds[i])
+				var reg *telemetry.Registry
+				if group != nil {
+					reg = group.Child(fmt.Sprintf("%03d-%s", i, suite.Specs[i].Name))
+				}
+				outcomes[i] = execute(i, suite.Specs[i], seeds[i], reg)
 				completed <- i
 			}
 		}()
@@ -172,7 +188,7 @@ func One(spec RunSpec) Outcome {
 	return Run(Suite{Name: spec.Name, Specs: []RunSpec{spec}}, Options{Workers: 1})[0]
 }
 
-func execute(index int, sp RunSpec, seed int64) Outcome {
+func execute(index int, sp RunSpec, seed int64, reg *telemetry.Registry) Outcome {
 	pol := sp.Policy()
 	res := runner.Run(runner.Config{
 		App:       sp.App,
@@ -185,6 +201,7 @@ func execute(index int, sp RunSpec, seed int64) Outcome {
 		KeepTrace: sp.KeepTrace,
 		Recorder:  sp.Recorder,
 		Faults:    sp.Faults,
+		Metrics:   reg,
 	})
 	return Outcome{Index: index, Seed: seed, Spec: sp, Policy: pol, Result: res}
 }

@@ -7,6 +7,8 @@ package metrics
 import (
 	"math"
 	"sort"
+
+	"sinan/internal/telemetry"
 )
 
 // NumPercentiles is the number of latency percentiles tracked (p95..p99),
@@ -75,20 +77,13 @@ func (w *LatencyWindow) Flush() Percentiles {
 	return p
 }
 
-// percentileSorted returns the q-th percentile of sorted data using the
-// nearest-rank method.
+// percentileSorted returns the q-th percentile (q in [0,100]) of sorted
+// data. The math lives in telemetry.ExactQuantile — one nearest-rank
+// implementation shared with the streaming histogram's quantile kernel, so
+// the two cannot drift apart (telemetry's TestQuantileAgreement pins them
+// to each other).
 func percentileSorted(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(q/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return telemetry.ExactQuantile(sorted, q/100)
 }
 
 // Percentile computes the q-th percentile of unsorted data (copying; the

@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sinan/internal/telemetry"
 )
 
 // overloadErr is the concrete type behind ErrOverloaded. It implements
@@ -110,7 +112,9 @@ func (o ServiceOptions) withDefaults() ServiceOptions {
 
 // ServerStats is a snapshot of what the admission gate has done, exposed
 // in-process via Service.StatsSnapshot and over the wire via the
-// Sinan.Stats RPC.
+// Sinan.Stats RPC. It is a thin view assembled from the service's telemetry
+// registry (the instruments under "server.admission.*"), kept as a struct so
+// the wire format and experiment tables are stable.
 type ServerStats struct {
 	Accepted  int64 // requests granted an execution slot
 	Active    int   // executing right now
@@ -132,25 +136,54 @@ type waiter struct {
 }
 
 // gate is the admission controller: a concurrency semaphore with a bounded
-// LIFO wait stack and deadline-aware shedding.
+// LIFO wait stack and deadline-aware shedding. Outcome counts and occupancy
+// live on telemetry instruments ("server.admission.*" in the service's
+// registry); the mutex guards only the structural state the admission logic
+// itself needs (the active count and the wait stack).
 type gate struct {
 	limit int // <= 0: unlimited (admission disabled)
 	maxQ  int
 	now   func() time.Time // test seam; wall clock in production
 
-	mu        sync.Mutex
-	active    int
-	queue     []*waiter // stack: the end is the newest
-	closed    bool
-	accepted  int64
-	shed      int64
-	expired   int64
-	peakQueue int
+	mu     sync.Mutex
+	active int
+	queue  []*waiter // stack: the end is the newest
+	closed bool
+
+	accepted  *telemetry.Counter // admission outcomes, one counter per kind
+	shed      *telemetry.Counter
+	expired   *telemetry.Counter
+	activeG   *telemetry.Gauge // executing right now
+	queuedG   *telemetry.Gauge // waiting for a slot right now
+	peakQueue *telemetry.Gauge // queue depth high-water mark
 }
 
-func newGate(o ServiceOptions) *gate {
+func newGate(o ServiceOptions, reg *telemetry.Registry) *gate {
 	o = o.withDefaults()
-	return &gate{limit: o.MaxConcurrent, maxQ: o.MaxQueue, now: time.Now}
+	return &gate{
+		limit:     o.MaxConcurrent,
+		maxQ:      o.MaxQueue,
+		now:       time.Now,
+		accepted:  reg.Counter("server.admission.outcome", "result", "accepted"),
+		shed:      reg.Counter("server.admission.outcome", "result", "shed"),
+		expired:   reg.Counter("server.admission.outcome", "result", "expired"),
+		activeG:   reg.Gauge("server.admission.active"),
+		queuedG:   reg.Gauge("server.admission.queued"),
+		peakQueue: reg.Gauge("server.admission.queue_peak"),
+	}
+}
+
+// setActiveLocked adjusts the active count and mirrors it into the gauge.
+func (g *gate) setActiveLocked(d int) {
+	g.active += d
+	g.activeG.Set(float64(g.active))
+}
+
+// setQueuedLocked mirrors the queue depth into its gauge and high-water mark.
+func (g *gate) setQueuedLocked() {
+	n := float64(len(g.queue))
+	g.queuedG.Set(n)
+	g.peakQueue.SetMax(n)
 }
 
 // acquire blocks until the request is granted an execution slot or dropped.
@@ -161,30 +194,30 @@ func (g *gate) acquire(deadline time.Time) (release func(), err error) {
 		// Admission disabled: execute immediately, tracking active for
 		// observability only.
 		g.mu.Lock()
-		g.active++
-		g.accepted++
+		g.setActiveLocked(1)
+		g.accepted.Inc()
 		g.mu.Unlock()
 		return g.releaseUnlimited, nil
 	}
 	g.mu.Lock()
 	if g.closed {
-		g.shed++
+		g.shed.Inc()
 		g.mu.Unlock()
 		return nil, errDraining
 	}
 	if !deadline.IsZero() && !g.now().Before(deadline) {
-		g.expired++
+		g.expired.Inc()
 		g.mu.Unlock()
 		return nil, ErrExpired
 	}
 	if g.active < g.limit {
-		g.active++
-		g.accepted++
+		g.setActiveLocked(1)
+		g.accepted.Inc()
 		g.mu.Unlock()
 		return g.release, nil
 	}
 	if g.maxQ == 0 {
-		g.shed++
+		g.shed.Inc()
 		g.mu.Unlock()
 		return nil, ErrOverloaded
 	}
@@ -193,9 +226,7 @@ func (g *gate) acquire(deadline time.Time) (release func(), err error) {
 	}
 	w := &waiter{ready: make(chan error, 1), deadline: deadline}
 	g.queue = append(g.queue, w)
-	if len(g.queue) > g.peakQueue {
-		g.peakQueue = len(g.queue)
-	}
+	g.setQueuedLocked()
 	g.mu.Unlock()
 	if err := <-w.ready; err != nil {
 		return nil, err
@@ -211,15 +242,17 @@ func (g *gate) evictLocked() {
 	now := g.now()
 	for i, w := range g.queue {
 		if !w.deadline.IsZero() && !now.Before(w.deadline) {
-			g.expired++
+			g.expired.Inc()
 			w.ready <- ErrExpired
 			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.setQueuedLocked()
 			return
 		}
 	}
-	g.shed++
+	g.shed.Inc()
 	g.queue[0].ready <- ErrOverloaded
 	g.queue = g.queue[:copy(g.queue, g.queue[1:])]
+	g.setQueuedLocked()
 }
 
 // release frees an execution slot and grants it to the newest viable queued
@@ -227,13 +260,13 @@ func (g *gate) evictLocked() {
 func (g *gate) release() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.active--
+	g.setActiveLocked(-1)
 	g.grantLocked()
 }
 
 func (g *gate) releaseUnlimited() {
 	g.mu.Lock()
-	g.active--
+	g.setActiveLocked(-1)
 	g.mu.Unlock()
 }
 
@@ -242,14 +275,15 @@ func (g *gate) grantLocked() {
 		w := g.queue[len(g.queue)-1]
 		g.queue = g.queue[:len(g.queue)-1]
 		if !w.deadline.IsZero() && !g.now().Before(w.deadline) {
-			g.expired++
+			g.expired.Inc()
 			w.ready <- ErrExpired
 			continue
 		}
-		g.active++
-		g.accepted++
+		g.setActiveLocked(1)
+		g.accepted.Inc()
 		w.ready <- nil
 	}
+	g.setQueuedLocked()
 }
 
 // close rejects every queued waiter and refuses future admissions; active
@@ -262,22 +296,23 @@ func (g *gate) close() {
 	}
 	g.closed = true
 	for _, w := range g.queue {
-		g.shed++
+		g.shed.Inc()
 		w.ready <- errDraining
 	}
 	g.queue = nil
+	g.setQueuedLocked()
 }
 
-// stats returns a snapshot of the gate's counters.
+// stats assembles the ServerStats view from the gate's instruments.
 func (g *gate) stats() ServerStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return ServerStats{
-		Accepted:  g.accepted,
+		Accepted:  g.accepted.Value(),
 		Active:    g.active,
 		Queued:    len(g.queue),
-		Shed:      g.shed,
-		Expired:   g.expired,
-		PeakQueue: g.peakQueue,
+		Shed:      g.shed.Value(),
+		Expired:   g.expired.Value(),
+		PeakQueue: int(g.peakQueue.Value()),
 	}
 }

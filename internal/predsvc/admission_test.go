@@ -12,6 +12,7 @@ import (
 
 	"sinan/internal/core"
 	"sinan/internal/nn"
+	"sinan/internal/telemetry"
 )
 
 func waitUntil(t *testing.T, what string, cond func() bool) {
@@ -27,7 +28,7 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 
 // A no-queue gate sheds anything beyond the concurrency limit on arrival.
 func TestGateNoQueueSheds(t *testing.T) {
-	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: -1})
+	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: -1}, telemetry.NewRegistry())
 	release, err := g.acquire(time.Time{})
 	if err != nil {
 		t.Fatalf("first acquire: %v", err)
@@ -48,7 +49,7 @@ func TestGateNoQueueSheds(t *testing.T) {
 // The wait stack drains LIFO: under overload the newest request has the most
 // deadline budget left, so it goes first.
 func TestGateLIFOGrantOrder(t *testing.T) {
-	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: 4})
+	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: 4}, telemetry.NewRegistry())
 	hold, err := g.acquire(time.Time{})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +84,7 @@ func TestGateLIFOGrantOrder(t *testing.T) {
 // Overflow evicts the oldest queued entry with a typed shed; the newcomer
 // takes its place and is eventually served.
 func TestGateEvictsOldestOnOverflow(t *testing.T) {
-	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: 1})
+	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: 1}, telemetry.NewRegistry())
 	hold, err := g.acquire(time.Time{})
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +123,7 @@ func TestGateEvictsOldestOnOverflow(t *testing.T) {
 // refused on arrival, and a queued request whose budget runs out while
 // waiting is dropped at grant time instead of executing for nobody.
 func TestGateDeadlineExpiry(t *testing.T) {
-	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: 4})
+	g := newGate(ServiceOptions{MaxConcurrent: 1, MaxQueue: 4}, telemetry.NewRegistry())
 	base := time.Unix(1000, 0)
 	var offset atomic.Int64
 	g.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }

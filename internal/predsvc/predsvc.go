@@ -19,12 +19,14 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sinan/internal/core"
 	"sinan/internal/nn"
+	"sinan/internal/telemetry"
 	"sinan/internal/tensor"
 )
 
@@ -62,6 +64,12 @@ type Service struct {
 	model atomic.Pointer[core.HybridModel]
 	ctxs  sync.Pool
 	gate  *gate
+
+	reg       *telemetry.Registry
+	rpcLatMS  *telemetry.Histogram // wall time of each Predict RPC, ms
+	inflight  *telemetry.Gauge     // Predict RPCs between entry and reply
+	rejected  *telemetry.Counter   // malformed requests refused pre-admission
+	predicted *telemetry.Counter   // candidate rows served (batch sizes summed)
 }
 
 // NewService wraps a hybrid model for serving with default admission
@@ -74,10 +82,24 @@ func NewService(m *core.HybridModel) *Service {
 // options (a negative MaxConcurrent disables admission control — the
 // unprotected baseline).
 func NewServiceWith(m *core.HybridModel, opts ServiceOptions) *Service {
-	s := &Service{gate: newGate(opts)}
+	reg := telemetry.NewRegistry()
+	s := &Service{
+		gate:      newGate(opts, reg),
+		reg:       reg,
+		rpcLatMS:  reg.Histogram("server.rpc.predict.latency_ms"),
+		inflight:  reg.Gauge("server.rpc.predict.inflight"),
+		rejected:  reg.Counter("server.rpc.predict.rejected"),
+		predicted: reg.Counter("server.rpc.predict.rows"),
+	}
 	s.model.Store(m)
 	return s
 }
+
+// Metrics returns the service's telemetry registry: the admission gate's
+// outcome counters and occupancy gauges ("server.admission.*") plus the
+// Predict RPC latency histogram and in-flight gauge ("server.rpc.*").
+// Export it with telemetry.Serve (the -metrics-addr flag on sinan-serve).
+func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 
 // Swap atomically replaces the served model (incremental retraining pushes
 // a fine-tuned model without restarting the service). In-flight requests
@@ -90,14 +112,22 @@ func (s *Service) Swap(m *core.HybridModel) { s.model.Store(m) }
 // keep bounded latency no matter the offered load. Validation happens
 // before admission — malformed requests are refused, not shed.
 func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
+	start := s.gate.now()
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.rpcLatMS.Observe(float64(s.gate.now().Sub(start)) / float64(time.Millisecond))
+	}()
 	m := s.model.Load()
 	d := m.D
 	if args.Batch <= 0 {
+		s.rejected.Inc()
 		return fmt.Errorf("predsvc: non-positive batch %d", args.Batch)
 	}
 	if len(args.RH) != args.Batch*d.F*d.N*d.T ||
 		len(args.LH) != args.Batch*d.T*d.M ||
 		len(args.RC) != args.Batch*d.N {
+		s.rejected.Inc()
 		return fmt.Errorf("predsvc: input sizes %d/%d/%d do not match batch %d and dims %+v",
 			len(args.RH), len(args.LH), len(args.RC), args.Batch, d)
 	}
@@ -132,6 +162,7 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 	reply.Lat = append([]float64(nil), pred.Data...)
 	reply.M = d.M
 	reply.PViol = append([]float64(nil), pviol...)
+	s.predicted.Add(int64(args.Batch))
 	return nil
 }
 
@@ -335,7 +366,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 // tables and operational visibility. Sheds and DeadlineExceeded are kept
 // apart from generic Errors so chaos experiments can distinguish "server
 // dead" (redials climbing) from "server shedding" (sheds climbing while
-// the connection stays up).
+// the connection stays up). It is a thin view assembled from the client's
+// telemetry registry (the counters under "client.*"); the struct form is
+// kept so experiment tables and tests keep working unchanged.
 type ClientStats struct {
 	Calls            int // PredictBatch invocations
 	Errors           int // invocations that returned an error
@@ -372,8 +405,22 @@ type Client struct {
 	fails      int // consecutive failures
 	openedA    time.Time
 	jitter     *rand.Rand
-	stats      ClientStats
 	lastCostMS float64 // wall cost of the last successful PredictBatch
+
+	// Telemetry instruments ("client.*"). Handles are rebindable via
+	// AttachMetrics so a run harness can gather the client's counters in a
+	// per-run registry.
+	reg              *telemetry.Registry
+	calls            *telemetry.Counter
+	errs             *telemetry.Counter
+	retries          *telemetry.Counter
+	redials          *telemetry.Counter
+	breakerOpens     *telemetry.Counter
+	fastFails        *telemetry.Counter
+	sheds            *telemetry.Counter
+	deadlineExceeded *telemetry.Counter
+	breakerState     *telemetry.Gauge     // 0 closed, 1 open, 2 half-open
+	predLatMS        *telemetry.Histogram // wall cost of successful PredictBatch calls
 
 	// Test seams; wall-clock time never influences predictions, only retry
 	// pacing and breaker cooldowns.
@@ -383,13 +430,47 @@ type Client struct {
 
 func newClient(addr string, opts ClientOptions) *Client {
 	o := opts.withDefaults()
-	return &Client{
+	c := &Client{
 		addr:   addr,
 		opts:   o,
 		jitter: rand.New(rand.NewSource(o.JitterSeed)),
 		now:    time.Now,
 		sleep:  time.Sleep,
 	}
+	c.bindLocked(telemetry.NewRegistry())
+	return c
+}
+
+// bindLocked resolves the client's instrument handles from reg. Caller
+// holds c.mu (or owns the client exclusively, as in newClient).
+func (c *Client) bindLocked(reg *telemetry.Registry) {
+	c.reg = reg
+	c.calls = reg.Counter("client.predict.calls")
+	c.errs = reg.Counter("client.predict.errors")
+	c.retries = reg.Counter("client.predict.retries")
+	c.redials = reg.Counter("client.redials")
+	c.breakerOpens = reg.Counter("client.breaker.opens")
+	c.fastFails = reg.Counter("client.breaker.fastfails")
+	c.sheds = reg.Counter("client.predict.sheds")
+	c.deadlineExceeded = reg.Counter("client.predict.deadline_exceeded")
+	c.breakerState = reg.Gauge("client.breaker.state")
+	c.predLatMS = reg.Histogram("client.predict.latency_ms")
+}
+
+// AttachMetrics implements telemetry.Attacher: it rebinds the client's
+// instruments onto reg so subsequent activity is counted there. Counts
+// recorded on the previous registry stay there.
+func (c *Client) AttachMetrics(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bindLocked(reg)
+}
+
+// Metrics returns the registry the client's instruments currently live on.
+func (c *Client) Metrics() *telemetry.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reg
 }
 
 // Dial connects to a prediction service with default options.
@@ -437,11 +518,21 @@ func (c *Client) Meta() core.ModelMeta {
 	return c.meta
 }
 
-// Stats returns a snapshot of the client's resilience counters.
+// Stats returns a snapshot of the client's resilience counters, assembled
+// as a view over the telemetry registry.
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	return ClientStats{
+		Calls:            int(c.calls.Value()),
+		Errors:           int(c.errs.Value()),
+		Retries:          int(c.retries.Value()),
+		Redials:          int(c.redials.Value()),
+		BreakerOpens:     int(c.breakerOpens.Value()),
+		FastFails:        int(c.fastFails.Value()),
+		Sheds:            int(c.sheds.Value()),
+		DeadlineExceeded: int(c.deadlineExceeded.Value()),
+	}
 }
 
 // LastPredictMS implements core.CostReporter: the wall-clock cost of the
@@ -454,13 +545,35 @@ func (c *Client) LastPredictMS() float64 {
 	return c.lastCostMS
 }
 
+// ErrStatsUnsupported is returned by ServerStats when the connected server
+// predates the Sinan.Stats RPC: the service is healthy — it answered the
+// call — it just doesn't export admission statistics. Callers should treat
+// it as "no data", not as a transport failure; the connection is kept.
+var ErrStatsUnsupported = errors.New("predsvc: server does not implement the Stats RPC")
+
+// isUnknownMethod reports whether err is net/rpc's "no such method/service"
+// response. net/rpc flattens server-side errors to strings on the wire, so
+// string matching is the only classification available.
+func isUnknownMethod(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "can't find method") || strings.Contains(msg, "can't find service")
+}
+
 // ServerStats fetches the service's admission-control counters over the
-// wire (the Sinan.Stats RPC).
+// wire (the Sinan.Stats RPC). Against a server old enough to lack the RPC
+// it returns ErrStatsUnsupported (wrapped) and keeps the connection — the
+// server responded, so the transport is healthy.
 func (c *Client) ServerStats() (ServerStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var reply StatsReply
 	if err := c.callOnce("Sinan.Stats", &struct{}{}, &reply, c.opts.CallTimeout); err != nil {
+		if isUnknownMethod(err) {
+			return ServerStats{}, fmt.Errorf("%w (server said: %v)", ErrStatsUnsupported, err)
+		}
 		c.dropConn()
 		return ServerStats{}, err
 	}
@@ -486,10 +599,10 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Calls++
+	c.calls.Inc()
 	if !c.breakerAllow() {
-		c.stats.FastFails++
-		c.stats.Errors++
+		c.fastFails.Inc()
+		c.errs.Inc()
 		return nil, nil, ErrUnavailable
 	}
 	start := c.now()
@@ -500,6 +613,7 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 		if err == nil {
 			c.breakerSuccess()
 			c.lastCostMS = float64(c.now().Sub(start)) / float64(time.Millisecond)
+			c.predLatMS.Observe(c.lastCostMS)
 			return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol, nil
 		}
 		if IsOverloaded(err) {
@@ -509,26 +623,26 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 			// out, and the breaker still counts it (sustained shedding
 			// eventually opens it, giving the server air). The connection
 			// stays up: the server answered, the transport is healthy.
-			c.stats.Sheds++
-			c.stats.Errors++
+			c.sheds.Inc()
+			c.errs.Inc()
 			c.breakerFailure()
 			return nil, nil, fmt.Errorf("predsvc: predict shed by overloaded service: %w", ErrOverloaded)
 		}
 		if IsExpired(err) {
 			// The server dropped the request as already-expired: a deadline
 			// loss, but over a healthy connection — retry without redialing.
-			c.stats.DeadlineExceeded++
+			c.deadlineExceeded.Inc()
 		} else {
 			c.dropConn()
 		}
 		if attempt >= c.opts.MaxRetries {
 			break
 		}
-		c.stats.Retries++
+		c.retries.Inc()
 		c.sleep(c.backoff(attempt))
 	}
 	c.breakerFailure()
-	c.stats.Errors++
+	c.errs.Inc()
 	return nil, nil, fmt.Errorf("predsvc: predict RPC failed after %d attempts: %w", c.opts.MaxRetries+1, err)
 }
 
@@ -550,7 +664,7 @@ func (c *Client) callOnce(method string, args, reply interface{}, timeout time.D
 		return call.Error
 	case <-t.C:
 		c.dropConn()
-		c.stats.DeadlineExceeded++
+		c.deadlineExceeded.Inc()
 		return fmt.Errorf("predsvc: %s deadline (%v) exceeded", method, timeout)
 	}
 }
@@ -563,7 +677,7 @@ func (c *Client) redial() error {
 	}
 	c.conn = conn
 	c.rpc = rpc.NewClient(conn)
-	c.stats.Redials++
+	c.redials.Inc()
 	return nil
 }
 
@@ -593,25 +707,31 @@ func (c *Client) breakerAllow() bool {
 		return true
 	default: // open: admit a probe once the cooldown has elapsed
 		if c.now().Sub(c.openedA) >= c.opts.BreakerCooldown {
-			c.state = breakerHalfOpen
+			c.setBreaker(breakerHalfOpen)
 			return true
 		}
 		return false
 	}
 }
 
+// setBreaker transitions the breaker and mirrors the state into its gauge.
+func (c *Client) setBreaker(state int) {
+	c.state = state
+	c.breakerState.Set(float64(state))
+}
+
 func (c *Client) breakerSuccess() {
 	c.fails = 0
-	c.state = breakerClosed
+	c.setBreaker(breakerClosed)
 }
 
 func (c *Client) breakerFailure() {
 	c.fails++
 	if c.state == breakerHalfOpen || c.fails >= c.opts.BreakerThreshold {
 		if c.state != breakerOpen {
-			c.stats.BreakerOpens++
+			c.breakerOpens.Inc()
 		}
-		c.state = breakerOpen
+		c.setBreaker(breakerOpen)
 		c.openedA = c.now()
 		c.fails = 0
 	}

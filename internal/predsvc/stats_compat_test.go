@@ -1,0 +1,145 @@
+package predsvc
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"testing"
+)
+
+// legacyService mimics a prediction server from before the Stats RPC was
+// added: it exports Predict and Meta under the same "Sinan" service name,
+// and nothing else.
+type legacyService struct{ svc *Service }
+
+func (l *legacyService) Predict(args *PredictArgs, reply *PredictReply) error {
+	return l.svc.Predict(args, reply)
+}
+
+func (l *legacyService) Meta(args *struct{}, reply *MetaReply) error {
+	return l.svc.Meta(args, reply)
+}
+
+// serveLegacy serves legacyService on a loopback listener until it is
+// closed.
+func serveLegacy(t *testing.T, svc *Service) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Sinan", &legacyService{svc: svc}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return lis
+}
+
+// TestServerStatsUnsupportedTyped pins the compatibility contract: against
+// a server that predates the Stats RPC, ServerStats returns the typed
+// ErrStatsUnsupported sentinel (so callers can distinguish "old server"
+// from "dead server") and keeps the connection — the server answered, so
+// dropping the transport would be self-inflicted damage.
+func TestServerStatsUnsupportedTyped(t *testing.T) {
+	m := tinyHybrid(t)
+	lis := serveLegacy(t, NewService(m))
+	defer lis.Close()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatalf("dial legacy server: %v", err)
+	}
+	defer c.Close()
+
+	_, err = c.ServerStats()
+	if err == nil {
+		t.Fatal("ServerStats against a legacy server: want error, got nil")
+	}
+	if !errors.Is(err, ErrStatsUnsupported) {
+		t.Fatalf("ServerStats error = %v; want errors.Is(_, ErrStatsUnsupported)", err)
+	}
+
+	// The connection must survive: the very next Predict should go through
+	// without a redial.
+	before := c.Stats().Redials
+	if _, _, err := c.PredictBatch(nil, mkBatch(m.D, 2)); err != nil {
+		t.Fatalf("PredictBatch after unsupported Stats: %v", err)
+	}
+	if after := c.Stats().Redials; after != before {
+		t.Errorf("redials %d -> %d: unsupported Stats must not drop the connection", before, after)
+	}
+}
+
+// TestServerStatsSupported is the control: against a current server the
+// same call returns real numbers and no error.
+func TestServerStatsSupported(t *testing.T) {
+	m := tinyHybrid(t)
+	srv, _, err := ListenAndServe("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.PredictBatch(nil, mkBatch(m.D, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+	if st.Accepted < 1 {
+		t.Errorf("Accepted = %d; want >= 1", st.Accepted)
+	}
+}
+
+// TestServiceMetricsRegistry checks that the service's registry carries the
+// RPC latency histogram, in-flight gauge, and admission outcome counters,
+// and that ServerStats is consistent with the registry snapshot it views.
+func TestServiceMetricsRegistry(t *testing.T) {
+	m := tinyHybrid(t)
+	svc := NewService(m)
+	const n = 5
+	for i := 0; i < n; i++ {
+		var reply PredictReply
+		in := mkBatch(m.D, 2)
+		args := &PredictArgs{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: 2}
+		if err := svc.Predict(args, &reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := svc.Metrics().Snapshot()
+	if got := snap.Counters["server.admission.outcome{result=accepted}"]; got != n {
+		t.Errorf("accepted counter = %d; want %d", got, n)
+	}
+	h := snap.Histograms["server.rpc.predict.latency_ms"]
+	if h == nil {
+		t.Fatal("missing server.rpc.predict.latency_ms histogram")
+	}
+	if h.Count != n {
+		t.Errorf("latency histogram count = %d; want %d", h.Count, n)
+	}
+	if h.P99 <= 0 {
+		t.Errorf("latency histogram p99 = %v; want > 0", h.P99)
+	}
+	if _, ok := snap.Gauges["server.rpc.predict.inflight"]; !ok {
+		t.Error("missing server.rpc.predict.inflight gauge")
+	}
+	st := svc.StatsSnapshot()
+	if st.Accepted != n {
+		t.Errorf("StatsSnapshot.Accepted = %d; want %d", st.Accepted, n)
+	}
+}

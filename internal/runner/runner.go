@@ -13,6 +13,7 @@ import (
 	"sinan/internal/dataset"
 	"sinan/internal/metrics"
 	"sinan/internal/sim"
+	"sinan/internal/telemetry"
 	"sinan/internal/workload"
 )
 
@@ -97,6 +98,14 @@ type Config struct {
 	InitAlloc []float64         // starting allocation (default: per-tier max)
 	KeepTrace bool              // retain the per-interval trace
 	Faults    FaultInjector     // optional fault plan, owned by this run
+
+	// Metrics, when set, is the registry this run's telemetry lands on: the
+	// run-level instruments ("run.*", all derived from simulated state and
+	// therefore deterministic), plus whatever the policy and fault injector
+	// register when they implement telemetry.Attacher (the Sinan scheduler's
+	// "sched.*", the injector's "faults.*"). Nil means a fresh private
+	// registry, reachable afterwards as Result.Metrics.
+	Metrics *telemetry.Registry
 }
 
 // Result summarises a managed run.
@@ -105,6 +114,12 @@ type Result struct {
 	Trace     []TraceRow
 	Completed int64
 	Dropped   int64
+	// Metrics is the run's telemetry registry (Config.Metrics, or the
+	// private registry the run created). Snapshot it for a per-run metrics
+	// dump; for a deterministic policy the snapshot is bit-identical across
+	// harness worker counts, except for instruments named *_ms (wall-clock
+	// latencies, by convention the only nondeterministic ones).
+	Metrics *telemetry.Registry
 }
 
 // Run executes one managed run to completion.
@@ -121,8 +136,32 @@ func Run(cfg Config) *Result {
 		cfg.Faults.Bind(eng, cl)
 	}
 
+	// Per-run telemetry. The policy and fault injector rebind their
+	// instruments here when they support it, so one registry holds the whole
+	// run's story.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if a, ok := cfg.Policy.(telemetry.Attacher); ok {
+		a.AttachMetrics(reg)
+	}
+	if a, ok := cfg.Faults.(telemetry.Attacher); ok {
+		a.AttachMetrics(reg)
+	}
+	var (
+		intervalsC = reg.Counter("run.intervals")
+		violations = reg.Counter("run.qos.violations")
+		dropsC     = reg.Counter("run.drops")
+		degradedC  = reg.Counter("run.degraded.intervals")
+		brownoutC  = reg.Counter("run.brownout.intervals")
+		p99H       = reg.Histogram("run.interval.p99")
+		rpsH       = reg.Histogram("run.interval.rps")
+		allocH     = reg.Histogram("run.interval.alloc_total")
+	)
+
 	meter := metrics.NewQoSMeter(cfg.App.QoSMS)
-	res := &Result{Meter: meter}
+	res := &Result{Meter: meter, Metrics: reg}
 	lastSubmitted := int64(0)
 
 	intervals := int(cfg.Duration / Interval)
@@ -152,6 +191,23 @@ func Run(cfg Config) *Result {
 			dec.Alloc = state.Alloc
 		}
 
+		// Run-level instruments observe simulated state only, so per-run
+		// snapshots stay deterministic across harness worker counts.
+		intervalsC.Inc()
+		p99H.Observe(perc.P99())
+		rpsH.Observe(rps)
+		allocH.Observe(totalOf(state.Alloc))
+		dropsC.Add(int64(perc.Drops))
+		if perc.P99() > cfg.App.QoSMS || perc.Drops > 0 {
+			violations.Inc()
+		}
+		if dec.Degraded {
+			degradedC.Inc()
+		}
+		if dec.Brownout > 0 {
+			brownoutC.Inc()
+		}
+
 		if cfg.Recorder != nil {
 			cfg.Recorder.Observe(stats, perc, dec.Alloc)
 		}
@@ -176,6 +232,8 @@ func Run(cfg Config) *Result {
 	}
 	res.Completed = cl.Completed()
 	res.Dropped = cl.DroppedRequests()
+	reg.Counter("run.requests.completed").Add(res.Completed)
+	reg.Counter("run.requests.dropped").Add(res.Dropped)
 	return res
 }
 

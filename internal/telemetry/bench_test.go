@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The two hot-path benchmarks print one {"bench":...} JSON line each (the
+// repository's CI-scrape convention, cf. BENCH_infer.json); `make
+// telemetry-bench` collects them into BENCH_telemetry.json. Both report
+// allocs explicitly — the acceptance bar is 0 allocs/op.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.count")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	b.StopTimer()
+	if b.N == 1 {
+		return // warm-up round; only the measured round prints
+	}
+	nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	allocs := testing.AllocsPerRun(1000, func() { c.Add(1) })
+	fmt.Printf("\n{\"bench\":\"counter_add\",\"ns_per_op\":%.2f,\"allocs_per_op\":%.0f}\n", nsOp, allocs)
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench.latency_ms")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%4096) + 0.25)
+	}
+	b.StopTimer()
+	if b.N == 1 {
+		return // warm-up round; only the measured round prints
+	}
+	nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	v := 0.0
+	allocs := testing.AllocsPerRun(1000, func() { v += 1.5; h.Observe(v) })
+	fmt.Printf("\n{\"bench\":\"histogram_observe\",\"ns_per_op\":%.2f,\"allocs_per_op\":%.0f}\n", nsOp, allocs)
+}
+
+// BenchmarkCounterAddParallel measures contended throughput — the registry
+// is shared by every RPC handler goroutine in predsvc, so the contended
+// number is the honest one.
+func BenchmarkCounterAddParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.count")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench.latency_ms")
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0
+		for pb.Next() {
+			v += 1.5
+			h.Observe(v)
+		}
+	})
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 64; i++ {
+		r.Counter(fmt.Sprintf("c%d", i)).Add(int64(i))
+	}
+	for i := 0; i < 16; i++ {
+		h := r.Histogram(fmt.Sprintf("h%d", i))
+		for j := 0; j < 1000; j++ {
+			h.Observe(float64(j))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Snapshot()
+	}
+}

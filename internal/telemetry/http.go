@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry's current snapshot
+// as indented JSON (expvar-style: one object, instrument names as keys
+// inside per-kind sections). Scrape it with curl or point a poller at it.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.Snapshot().WriteJSON(w)
+	})
+}
+
+// NewMux builds the metrics endpoint mux:
+//
+//	/metrics     registry snapshot as JSON
+//	/debug/vars  same payload, at the expvar-conventional path
+//	/debug/pprof the standard net/http/pprof handlers
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	h := Handler(r)
+	mux.Handle("/metrics", h)
+	mux.Handle("/debug/vars", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts a metrics HTTP server on addr in a background goroutine and
+// returns it along with the bound address (useful with ":0"). Close the
+// returned server to stop it. The server is deliberately independent of the
+// process's main listeners: telemetry must stay reachable while the primary
+// service is saturated.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(l)
+	return srv, l.Addr(), nil
+}
