@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check overload bench bench-json speedup telemetry-bench
+.PHONY: build test race vet check overload bench bench-json speedup telemetry-bench statplane-bench
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,11 @@ telemetry-bench:
 	$(GO) test -run='^$$' -bench='CounterAdd$$|HistogramObserve$$' -benchtime=1000000x \
 		./internal/telemetry/ | grep '^{' > BENCH_telemetry.json
 	cat BENCH_telemetry.json
+
+# Stats-plane hot paths: gob report encode/decode on an established stream
+# and one full aggregator interval cycle; the {"bench":...} lines land in
+# BENCH_statplane.json.
+statplane-bench:
+	$(GO) test -run='^$$' -bench='ReportEncode$$|ReportDecode$$|IntervalAssemble$$' -benchtime=100000x \
+		./internal/statplane/ | grep '^{' > BENCH_statplane.json
+	cat BENCH_statplane.json

@@ -10,6 +10,12 @@
 //
 // With -seeds N the same configuration runs under N consecutive seeds as a
 // parallel suite and prints per-seed plus aggregate summaries.
+//
+// With -stats-listen ADDR the run's tier statistics flow over a real TCP
+// stats plane instead of in-process agents: the run hosts a hub on ADDR,
+// sinan-agent processes connect and claim tier partitions, and each
+// interval's snapshot is assembled from their reports under -stats-deadline
+// (see examples/distributed/README.md for a walk-through).
 package main
 
 import (
@@ -18,13 +24,16 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"sinan/internal/apps"
 	"sinan/internal/baselines"
+	"sinan/internal/cluster"
 	"sinan/internal/core"
 	"sinan/internal/harness"
 	"sinan/internal/predsvc"
 	"sinan/internal/runner"
+	"sinan/internal/statplane"
 	"sinan/internal/workload"
 )
 
@@ -44,11 +53,16 @@ func main() {
 		csvPath  = flag.String("csv", "", "write the per-interval trace as CSV to this file")
 		platform = flag.String("platform", "local", "platform: local | gce")
 		seeds    = flag.Int("seeds", 1, "run N seeds (seed, seed+1, ...) in parallel and report per-seed plus aggregate summaries")
+
+		statsListen   = flag.String("stats-listen", "", "host a distributed stats plane on this address and collect tier stats from sinan-agent processes (empty = in-process agents)")
+		statsPer      = flag.Int("stats-tiers-per-agent", 1, "tiers per agent partition on the distributed stats plane")
+		statsDeadline = flag.Duration("stats-deadline", 250*time.Millisecond, "per-interval wall-clock budget for agent reports; late tiers are imputed")
+		statsWait     = flag.Duration("stats-wait", 15*time.Second, "how long to wait for agents to cover every partition before starting")
 	)
 	flag.Parse()
 
-	if *seeds > 1 && (*connect != "" || *trace || *csvPath != "") {
-		log.Fatal("-seeds > 1 cannot be combined with -connect, -trace, or -csv")
+	if *seeds > 1 && (*connect != "" || *trace || *csvPath != "" || *statsListen != "") {
+		log.Fatal("-seeds > 1 cannot be combined with -connect, -trace, -csv, or -stats-listen")
 	}
 
 	var opts []apps.Option
@@ -108,12 +122,42 @@ func main() {
 	}
 
 	pol := mkPolicy()
-	fmt.Fprintf(os.Stderr, "running %s under %s at %.0f users for %.0fs...\n",
-		app.Name, pol.Name(), *load, *duration)
-	res := runner.Run(runner.Config{
+	cfg := runner.Config{
 		App: app, Policy: pol, Pattern: pattern,
 		Duration: *duration, Seed: *seed, Warmup: 15, KeepTrace: true,
-	})
+	}
+
+	// With -stats-listen the run's tier stats travel over TCP: a hub hands
+	// each connecting sinan-agent a tier partition, pushes it per-interval
+	// samples, and assembles whatever reports return before the deadline.
+	// Missing tiers surface as StatsOK=false and are imputed by the policy,
+	// so absent or flaky agents degrade the run instead of stalling it.
+	var hub *statplane.Hub
+	if *statsListen != "" {
+		cfg.Plane = func(cl *cluster.Cluster, gw statplane.GatewaySource) statplane.Plane {
+			h, err := statplane.NewHub(*statsListen, statplane.HubConfig{
+				Sampler: cl, NumTiers: cl.NumTiers(), Gateway: gw,
+				IntervalSec: runner.Interval, TiersPerAgent: *statsPer,
+				Deadline: *statsDeadline,
+			})
+			if err != nil {
+				log.Fatalf("stats hub: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "stats hub on %s: waiting up to %s for %d agent(s)...\n",
+				h.Addr(), *statsWait, h.Partitions())
+			got := h.AwaitAgents(h.Partitions(), *statsWait)
+			fmt.Fprintf(os.Stderr, "stats hub: %d/%d agent(s) connected\n", got, h.Partitions())
+			hub = h
+			return h
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "running %s under %s at %.0f users for %.0fs...\n",
+		app.Name, pol.Name(), *load, *duration)
+	res := runner.Run(cfg)
+	if hub != nil {
+		hub.Close()
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

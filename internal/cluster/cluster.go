@@ -39,7 +39,6 @@ type Cluster struct {
 
 	completed   int64
 	droppedReqs int64
-	lastStats   float64
 
 	// tracing (Jaeger substitute); see trace.go
 	tracer    Tracer
@@ -109,34 +108,46 @@ func (c *Cluster) MaxAlloc() []float64 {
 	return out
 }
 
-// ReadStats returns per-tier statistics accumulated since the previous call
-// and resets the interval accumulators. This is the node-agent read Sinan
-// performs once per decision interval.
-func (c *Cluster) ReadStats() []Stats {
+// SampleTier returns one tier's statistics accumulated since that tier was
+// last sampled and resets its interval accumulators — the read a node
+// agent performs on each tier it owns, once per decision interval. Each
+// tier keeps its own last-sample time, so agents sampling their subsets
+// independently (or late) still get correctly normalised rates.
+// Implements statplane.TierSampler.
+func (c *Cluster) SampleTier(i int) Stats {
+	t := c.tiers[i]
 	now := c.Eng.Now()
-	interval := now - c.lastStats
-	c.lastStats = now
+	interval := now - t.lastSample
+	t.lastSample = now
 	if interval <= 0 {
 		interval = 1
 	}
+	t.advance()
+	s := Stats{
+		CPUUsage: t.busyCPU / interval,
+		CPULimit: t.cpuLimit,
+		RSS:      t.rss(),
+		Cache:    t.cache(),
+		NetRx:    float64(t.netRx),
+		NetTx:    float64(t.netTx),
+		QueueLen: float64(t.QueueLen()),
+		Stalled:  t.stallTotal,
+	}
+	t.busyCPU = 0
+	t.netRx = 0
+	t.netTx = 0
+	t.servedIntv = 0
+	t.stallTotal = 0
+	return s
+}
+
+// ReadStats samples every tier at once — the single-node shortcut used by
+// tests and capacity probes; managed runs go through the stats plane,
+// which calls SampleTier per agent.
+func (c *Cluster) ReadStats() []Stats {
 	out := make([]Stats, len(c.tiers))
-	for i, t := range c.tiers {
-		t.advance()
-		out[i] = Stats{
-			CPUUsage: t.busyCPU / interval,
-			CPULimit: t.cpuLimit,
-			RSS:      t.rss(),
-			Cache:    t.cache(),
-			NetRx:    float64(t.netRx),
-			NetTx:    float64(t.netTx),
-			QueueLen: float64(t.QueueLen()),
-			Stalled:  t.stallTotal,
-		}
-		t.busyCPU = 0
-		t.netRx = 0
-		t.netTx = 0
-		t.servedIntv = 0
-		t.stallTotal = 0
+	for i := range c.tiers {
+		out[i] = c.SampleTier(i)
 	}
 	return out
 }

@@ -129,11 +129,12 @@ type Tier struct {
 	stalled    bool
 	stallTotal float64 // stalled seconds in current interval
 
-	// interval accumulators, reset by ReadStats
+	// interval accumulators, reset by Cluster.SampleTier
 	busyCPU    float64 // core-seconds consumed
 	netRx      int64
 	netTx      int64
 	servedIntv int64
+	lastSample float64 // sim time of the last SampleTier call
 
 	servedTotal int64
 	writeBytes  float64 // total write volume driving RSS growth (stateful tiers)

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"testing"
 
+	"sinan/internal/cluster"
+	"sinan/internal/metrics"
 	"sinan/internal/nn"
+	"sinan/internal/runner"
 	"sinan/internal/tensor"
 )
 
@@ -188,6 +191,64 @@ func TestNoShrinkCandidatesForMissingTier(t *testing.T) {
 	for _, c := range s.candidates(st) {
 		if c.alloc[1] < st.Alloc[1]-1e-9 {
 			t.Fatalf("candidate shrinks missing tier 1: %v < %v", c.alloc[1], st.Alloc[1])
+		}
+	}
+}
+
+// A total stats-plane blackout — every tier StatsOK=false with zeroed rows
+// from the very first interval, so there is no "last good" reading to hold —
+// is the fail-safe floor: the scheduler must keep deciding without panics,
+// never reclaim capacity blind, and once the staleness cap lapses push the
+// silent tiers up.
+func TestSchedulerSurvivesTotalStatsBlackout(t *testing.T) {
+	app := testApp()
+	d := nn.Dims{N: len(app.Tiers), T: 5, F: 6, M: 5}
+	s := NewScheduler(app, &fakeModel{d: d, qos: 200, rmse: 10, needCores: 5}, SchedulerOptions{})
+	alloc := mkAlloc(app, 2)
+
+	blackout := func(alloc []float64) runner.State {
+		st := stateFor(app, 0, alloc, 0)
+		st.Perc = metrics.Percentiles{} // a silent plane reports no latency either
+		st.StatsOK = make([]bool, len(st.Stats))
+		for i := range st.Stats {
+			st.Stats[i] = cluster.Stats{}
+		}
+		return st
+	}
+
+	for i := 0; i < 3*s.Opts.StaleCap; i++ {
+		prev := append([]float64(nil), alloc...)
+		dec := s.Decide(blackout(alloc))
+		if dec.Alloc == nil {
+			t.Fatalf("interval %d: nil allocation under blackout", i)
+		}
+		for j := range dec.Alloc {
+			if dec.Alloc[j] < prev[j]-1e-9 {
+				t.Fatalf("interval %d: blind scale-down of tier %d: %v → %v",
+					i, j, prev[j], dec.Alloc[j])
+			}
+			if dec.Alloc[j] > s.maxCPU[j]+1e-9 || dec.Alloc[j] < s.minCPU[j]-1e-9 {
+				t.Fatalf("interval %d: tier %d out of bounds: %v", i, j, dec.Alloc[j])
+			}
+		}
+		alloc = dec.Alloc
+	}
+	for i, n := range s.staleFor {
+		if n != 3*s.Opts.StaleCap {
+			t.Fatalf("tier %d staleness = %d, want %d", i, n, 3*s.Opts.StaleCap)
+		}
+	}
+	// Past the cap the stale bias must actually have moved capacity up.
+	start := mkAlloc(app, 2)
+	if total(alloc) <= total(start) {
+		t.Fatalf("stale bias never upscaled: %v → %v cores", total(start), total(alloc))
+	}
+
+	// Recovery: one complete interval clears every tier's staleness.
+	s.Decide(stateFor(app, 20, alloc, 0.3))
+	for i, n := range s.staleFor {
+		if n != 0 {
+			t.Fatalf("tier %d staleness survived recovery: %d", i, n)
 		}
 	}
 }

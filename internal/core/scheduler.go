@@ -559,19 +559,12 @@ func (s *Scheduler) clampTier(i int, v float64) float64 {
 	return v
 }
 
+// pushHistory records the interval into the model-input windows through
+// the same dataset.PushWindow the training recorder uses, with the same
+// 2.5×QoS latency clip — deployment inputs stay on the training
+// distribution by construction.
 func (s *Scheduler) pushHistory(st runner.State, d nn.Dims) {
-	s.statHist.Push(dataset.FlattenStats(st.Stats, d))
-	// Latency inputs are clipped exactly as the training recorder clips
-	// them, so deployment inputs stay on the training distribution.
-	clip := 2.5 * s.meta.QoSMS
-	lat := make([]float64, d.M)
-	for i, v := range st.Perc.Values {
-		if v > clip {
-			v = clip
-		}
-		lat[i] = v
-	}
-	s.latHist.Push(lat)
+	dataset.PushWindow(s.statHist, s.latHist, d, st.Stats, st.Perc, 2.5*s.meta.QoSMS)
 }
 
 func (s *Scheduler) maxAlloc() []float64 {
@@ -594,15 +587,15 @@ func (s *Scheduler) ultraSafe(st runner.State) bool {
 	return true
 }
 
-// boosted returns the emergency-ramp allocation: every tier doubled (plus a
-// constant so tiers at the floor move), clamped to the per-tier maximum.
+// boosted returns the emergency-ramp allocation: every tier doubled (plus
+// a constant so tiers at the floor move), quantised to the 0.1-core grid
+// and clamped to the tier bounds like every other allocation the
+// scheduler emits — an off-grid emergency ramp would be unenforceable on
+// the cgroup quota and would leak unround values into traces and CSVs.
 func (s *Scheduler) boosted(cur []float64) []float64 {
 	out := make([]float64, len(cur))
 	for i := range out {
-		out[i] = cur[i]*2 + 0.5
-		if out[i] > s.maxCPU[i] {
-			out[i] = s.maxCPU[i]
-		}
+		out[i] = s.clampTier(i, cur[i]*2+0.5)
 	}
 	return out
 }

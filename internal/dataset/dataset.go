@@ -271,12 +271,7 @@ func (r *Recorder) Observe(stats []cluster.Stats, perc metrics.Percentiles, next
 	r.pending = kept
 
 	// Record this interval into the history windows.
-	r.statHist.Push(FlattenStats(stats, d))
-	lat := make([]float64, d.M)
-	for i, v := range perc.Values {
-		lat[i] = r.clip(v)
-	}
-	r.latHist.Push(lat)
+	PushWindow(r.statHist, r.latHist, d, stats, perc, r.ClipMS)
 
 	if !r.statHist.Full() {
 		return
@@ -291,6 +286,25 @@ func (r *Recorder) Observe(stats []cluster.Stats, perc metrics.Percentiles, next
 		remaining: r.Out.K,
 		needLat:   true,
 	})
+}
+
+// PushWindow records one decision interval into a pair of history rings:
+// the flattened [F·N] stats features and the [M] latency percentiles,
+// clipped at clipMS (0 disables clipping). This is the single definition
+// of the model's input windowing, shared by the training-data Recorder
+// and the online scheduler — the two must clip and pack identically or
+// deployment inputs drift off the training distribution.
+func PushWindow(statHist, latHist *metrics.History[[]float64], d nn.Dims,
+	stats []cluster.Stats, perc metrics.Percentiles, clipMS float64) {
+	statHist.Push(FlattenStats(stats, d))
+	lat := make([]float64, d.M)
+	for i, v := range perc.Values {
+		if clipMS > 0 && v > clipMS {
+			v = clipMS
+		}
+		lat[i] = v
+	}
+	latHist.Push(lat)
 }
 
 // FlattenStats packs one interval's per-tier stats into the [F·N] feature

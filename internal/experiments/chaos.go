@@ -27,7 +27,12 @@ import (
 //   - AutoScaleCons, which never consults a model and bounds what pure
 //     feedback control achieves under the same cluster faults.
 //
-// A no-fault Sinan run anchors the comparison. The table reports QoS
+// A fifth arm runs Sinan with a healthy predictor under a lossy stats
+// plane (faults.Lossy): node-agent reports are dropped and duplicated in
+// flight for most of the run, exercising the aggregator's sequence dedupe
+// and the scheduler's hold-last-value imputation rather than the
+// predictor fallback. A no-fault Sinan run anchors the comparison. The
+// table reports QoS
 // attainment, mean CPU, and the degraded/error counters, and every row is
 // bit-identical across harness worker counts: each run owns its injector,
 // and all fault state advances on the run's private sim clock.
@@ -75,13 +80,14 @@ func Chaos(l *Lab) []*Table {
 				env.name, run.Spec.Name, res.Meter.MeetProb(), res.Meter.MeanAlloc(), degraded)
 		}
 		t.Notes = append(t.Notes,
-			"fault schedule: predictor outage, slowdown past deadline, metric dropout, half-tier crash, RPC blips (faults.Standard)")
+			"fault schedule: predictor outage, slowdown past deadline, metric dropout, half-tier crash, RPC blips (faults.Standard)",
+			"lossy-stats arm: healthy predictor, 25% report drop/duplicate on the stats plane (faults.Lossy)")
 		tables = append(tables, t)
 	}
 	return tables
 }
 
-// chaosSpecs builds the four managed runs of one chaos scenario. model is
+// chaosSpecs builds the five managed runs of one chaos scenario. model is
 // any core.Predictor so tests can substitute a cheap fake for the trained
 // hybrid. Every faulted spec gets its own injector over the same plan —
 // injectors are single-run state — and pinned seeds keep the workload
@@ -105,6 +111,9 @@ func chaosSpecs(app *apps.App, model core.Predictor, name string, load, dur, war
 	fallbackInj := faults.New(plan)
 	crashInj := faults.New(plan)
 	consInj := faults.New(plan)
+	// The lossy-stats arm keeps the predictor healthy and degrades only
+	// report delivery: drops and duplicates on the telemetry wire.
+	lossyInj := faults.New(faults.Lossy(seed, dur, 0.25))
 	return []harness.RunSpec{
 		mk("sinan-fallback", func() runner.Policy {
 			return core.NewScheduler(app, fallbackInj.Predictor(model), core.SchedulerOptions{})
@@ -115,6 +124,9 @@ func chaosSpecs(app *apps.App, model core.Predictor, name string, load, dur, war
 		mk("autoscale-cons", func() runner.Policy {
 			return baselines.NewAutoScaleCons()
 		}, consInj),
+		mk("sinan-lossy-stats", func() runner.Policy {
+			return core.NewScheduler(app, model, core.SchedulerOptions{})
+		}, lossyInj),
 		mk("sinan-nofault", func() runner.Policy {
 			return core.NewScheduler(app, model, core.SchedulerOptions{})
 		}, nil),

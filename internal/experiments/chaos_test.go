@@ -5,6 +5,7 @@ import (
 
 	"sinan/internal/apps"
 	"sinan/internal/core"
+	"sinan/internal/faults"
 	"sinan/internal/harness"
 	"sinan/internal/nn"
 	"sinan/internal/tensor"
@@ -67,8 +68,8 @@ func TestChaosFallbackDegradesAndRecovers(t *testing.T) {
 		t.Skip("simulation run")
 	}
 	outs := chaosTestOutcomes(t, 1)
-	if len(outs) != 4 {
-		t.Fatalf("chaos outcomes = %d, want 4", len(outs))
+	if len(outs) != 5 {
+		t.Fatalf("chaos outcomes = %d, want 5", len(outs))
 	}
 	byName := map[string]harness.Outcome{}
 	for _, o := range outs {
@@ -113,6 +114,24 @@ func TestChaosFallbackDegradesAndRecovers(t *testing.T) {
 		if row.Degraded {
 			t.Fatal("a dead manager cannot report degraded decisions")
 		}
+	}
+
+	// The lossy-stats arm loses and duplicates reports on the wire while
+	// the predictor stays healthy: the run must complete with the plane's
+	// loss surfacing in the injector counters, not as predictor errors.
+	ls := byName["hotel/sinan-lossy-stats"]
+	lsInj, ok := ls.Spec.Faults.(*faults.Injector)
+	if !ok {
+		t.Fatal("lossy arm has no injector")
+	}
+	if c := lsInj.Counters(); c.DroppedReports == 0 || c.DupedReports == 0 {
+		t.Fatalf("lossy plane never dropped/duplicated: %+v", c)
+	}
+	if sLS, _ := schedulerOf(ls.Policy); sLS.PredictErrors() != 0 {
+		t.Fatalf("lossy-stats arm saw %d predictor errors, want 0", sLS.PredictErrors())
+	}
+	if len(ls.Result.Trace) == 0 || ls.Result.Completed == 0 {
+		t.Fatal("lossy-stats run did not complete")
 	}
 
 	// The no-fault reference never degrades.

@@ -1,13 +1,16 @@
 // Package faults injects failures into managed runs. A Plan is a
 // declarative, seed-reproducible schedule of fault events on the simulated
 // clock — predictor outages and slowdowns, per-tier metric-agent dropouts,
-// replica crashes, and RPC error blips. An Injector executes one plan
-// against one run: it binds to the run's private engine and cluster
-// (satisfying runner.FaultInjector), masks node-agent reports, and wraps
-// the scheduler's Predictor so model calls fail during the scheduled
-// windows. Everything is driven by the sim clock and a seeded RNG, so a
-// faulted run is exactly as reproducible as a healthy one: same plan, same
-// seed, bit-identical results regardless of harness worker count.
+// replica crashes, RPC error blips, and lossy stats-plane windows. An
+// Injector executes one plan against one run: it binds to the run's
+// private engine and cluster (satisfying runner.FaultInjector), gates the
+// stats plane's report delivery (satisfying statplane.ReportGate, so
+// dropouts lose actual reports in flight rather than falsifying rows),
+// and wraps the scheduler's Predictor so model calls fail during the
+// scheduled windows. Everything is driven by the sim clock and seeded
+// RNGs, so a faulted run is exactly as reproducible as a healthy one:
+// same plan, same seed, bit-identical results regardless of harness
+// worker count.
 package faults
 
 import (
@@ -19,6 +22,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/nn"
 	"sinan/internal/sim"
+	"sinan/internal/statplane"
 	"sinan/internal/telemetry"
 	"sinan/internal/tensor"
 )
@@ -36,15 +40,20 @@ const (
 	// sub-deadline case only shows up in counters, since decision intervals
 	// are much longer than healthy inference.
 	PredictorSlow
-	// MetricDropout silences tier Tier's node agent: its stats row is
-	// zeroed and flagged missing, so the policy must impute.
+	// MetricDropout silences tier Tier's node agent for the window: every
+	// stats-plane report carrying that tier is dropped in flight, so the
+	// tier's row arrives zeroed with StatsOK=false and the policy must
+	// impute.
 	MetricDropout
 	// ReplicaCrash kills a fraction of tier Tier's replicas: alive capacity
 	// drops to Value (0..1) at Start and restores to 1 at End, shrinking
 	// both effective CPU and connection slots for the window.
 	ReplicaCrash
-	// RPCBlips makes each model call fail independently with probability
-	// Value for the window — flaky-network noise rather than a hard outage.
+	// RPCBlips makes each RPC fail independently with probability Value
+	// for the window — flaky-network noise rather than a hard outage. The
+	// blips hit both RPC paths the scheduler depends on: model calls fail,
+	// and node-agent stats reports are lost in flight (the same bad switch
+	// carries both).
 	RPCBlips
 	// PredictorOverload saturates the prediction service: the load a call
 	// adds scales with its batch size, so a call is shed with probability
@@ -53,6 +62,12 @@ const (
 	// is the centralized-predictor scalability bottleneck the brownout
 	// ladder exists for — smaller candidate batches genuinely relieve it.
 	PredictorOverload
+	// LossyReports degrades the whole stats plane for the window: every
+	// node-agent report is independently dropped with probability Value
+	// and, if it survives, duplicated with probability Value (retransmit
+	// racing its original). The aggregator's sequence dedupe and the
+	// scheduler's imputation absorb both.
+	LossyReports
 )
 
 // String returns the kind's mnemonic.
@@ -70,6 +85,8 @@ func (k Kind) String() string {
 		return "rpc-blips"
 	case PredictorOverload:
 		return "predictor-overload"
+	case LossyReports:
+		return "lossy-reports"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -83,7 +100,7 @@ type Event struct {
 	Start float64 // simulated seconds
 	End   float64
 	Tier  int     // MetricDropout, ReplicaCrash: target tier index
-	Value float64 // Slow: added seconds; Crash: alive fraction; Blips: P(fail)
+	Value float64 // Slow: added seconds; Crash: alive fraction; Blips/Lossy: P(fail)
 }
 
 // Plan is a reproducible fault schedule. Seed feeds the injector's private
@@ -154,6 +171,16 @@ func Overload(seed int64, duration float64) Plan {
 	return Plan{Seed: seed, Events: ev}
 }
 
+// Lossy builds the lossy-stats-plane schedule of the chaos experiment:
+// one long LossyReports window covering the middle [0.2, 0.8] of the run,
+// dropping and duplicating node-agent reports with probability Value —
+// the telemetry network misbehaving while the predictor stays healthy.
+func Lossy(seed int64, duration, p float64) Plan {
+	return Plan{Seed: seed, Events: []Event{
+		{Kind: LossyReports, Start: roundS(0.2 * duration), End: roundS(0.8 * duration), Value: p},
+	}}
+}
+
 // roundS keeps window edges on millisecond boundaries so plans print
 // cleanly and float noise cannot creep into comparisons.
 func roundS(t float64) float64 {
@@ -194,7 +221,8 @@ type Counters struct {
 	PredictorErrors int // model calls failed (outage + timeout + blips + sheds)
 	SlowCalls       int // calls delayed but under the deadline
 	ShedCalls       int // calls shed by an overload window
-	DroppedReports  int // tier-intervals with a silenced node agent
+	DroppedReports  int // node-agent reports lost in flight
+	DupedReports    int // node-agent reports delivered twice
 	CrashWindows    int // replica-crash windows applied
 }
 
@@ -205,6 +233,11 @@ type Counters struct {
 type Injector struct {
 	plan Plan
 	rng  *sim.RNG
+	// reportRNG drives report-delivery coin flips (RPCBlips loss,
+	// LossyReports drop/duplicate). It is separate from rng so adding
+	// report faults to a plan does not perturb the predictor-blip
+	// sequence, and vice versa.
+	reportRNG *sim.RNG
 
 	// Deadline a model call is assumed to carry; a PredictorSlow window
 	// whose added latency reaches it turns calls into timeouts. Matches
@@ -215,6 +248,7 @@ type Injector struct {
 	slow     float64
 	blipP    float64
 	overload float64 // PredictorOverload Value in force (0 = healthy)
+	lossy    float64 // LossyReports Value in force (0 = healthy)
 	dropped  []bool
 
 	// Cost of the last successful wrapped call in milliseconds, reported
@@ -231,6 +265,7 @@ type Injector struct {
 	slowCalls       *telemetry.Counter
 	shedCalls       *telemetry.Counter
 	droppedReports  *telemetry.Counter
+	dupedReports    *telemetry.Counter
 	crashWindows    *telemetry.Counter
 }
 
@@ -238,9 +273,10 @@ type Injector struct {
 // is checked on Bind.
 func New(plan Plan) *Injector {
 	in := &Injector{
-		plan:     plan,
-		rng:      sim.NewRNG(plan.Seed ^ 0x5ad5ad),
-		Deadline: 1.0,
+		plan:      plan,
+		rng:       sim.NewRNG(plan.Seed ^ 0x5ad5ad),
+		reportRNG: sim.NewRNG(plan.Seed ^ 0x7e907e9),
+		Deadline:  1.0,
 	}
 	in.AttachMetrics(telemetry.NewRegistry())
 	return in
@@ -257,6 +293,7 @@ func (in *Injector) AttachMetrics(reg *telemetry.Registry) {
 	in.slowCalls = reg.Counter("faults.predictor.slow_calls")
 	in.shedCalls = reg.Counter("faults.predictor.sheds")
 	in.droppedReports = reg.Counter("faults.reports.dropped")
+	in.dupedReports = reg.Counter("faults.reports.duplicated")
 	in.crashWindows = reg.Counter("faults.crash.windows")
 }
 
@@ -274,6 +311,7 @@ func (in *Injector) Counters() Counters {
 		SlowCalls:       int(in.slowCalls.Value()),
 		ShedCalls:       int(in.shedCalls.Value()),
 		DroppedReports:  int(in.droppedReports.Value()),
+		DupedReports:    int(in.dupedReports.Value()),
 		CrashWindows:    int(in.crashWindows.Value()),
 	}
 }
@@ -321,31 +359,45 @@ func (in *Injector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
 		case PredictorOverload:
 			eng.At(e.Start, func() { in.markInjected(e.Kind); in.overload = e.Value })
 			eng.At(e.End, func() { in.overload = 0 })
+		case LossyReports:
+			eng.At(e.Start, func() { in.markInjected(e.Kind); in.lossy = e.Value })
+			eng.At(e.End, func() { in.lossy = 0 })
 		default:
 			panic(fmt.Sprintf("faults: unknown kind %d", int(e.Kind)))
 		}
 	}
 }
 
-// MaskStats zeroes the stats rows of currently-dropped tiers and returns
-// the per-tier ok-mask, or nil when every agent reported. Implements
-// runner.FaultInjector.
-func (in *Injector) MaskStats(stats []cluster.Stats) []bool {
-	var ok []bool
-	for i := range stats {
-		if i < len(in.dropped) && in.dropped[i] {
-			if ok == nil {
-				ok = make([]bool, len(stats))
-				for j := range ok {
-					ok[j] = true
-				}
-			}
-			ok[i] = false
-			stats[i] = cluster.Stats{}
+// DeliverReport implements statplane.ReportGate: it decides the fate of
+// one node-agent report in flight. A MetricDropout window loses every
+// report carrying the silenced tier; an RPCBlips window loses reports
+// with the window's probability (the same flaky network that fails model
+// calls); a LossyReports window drops with probability Value and
+// duplicates survivors with probability Value. All coin flips come from
+// the injector's dedicated report RNG, so gated runs stay bit-identical
+// across harness worker counts.
+func (in *Injector) DeliverReport(r statplane.Report) statplane.Verdict {
+	for _, ts := range r.Tiers {
+		if ts.Tier >= 0 && ts.Tier < len(in.dropped) && in.dropped[ts.Tier] {
 			in.droppedReports.Inc()
+			return statplane.Drop
 		}
 	}
-	return ok
+	if in.blipP > 0 && in.reportRNG.Float64() < in.blipP {
+		in.droppedReports.Inc()
+		return statplane.Drop
+	}
+	if in.lossy > 0 {
+		if in.reportRNG.Float64() < in.lossy {
+			in.droppedReports.Inc()
+			return statplane.Drop
+		}
+		if in.reportRNG.Float64() < in.lossy {
+			in.dupedReports.Inc()
+			return statplane.Duplicate
+		}
+	}
+	return statplane.Deliver
 }
 
 // Predictor wraps a model so its calls fail during the injector's

@@ -10,6 +10,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/nn"
 	"sinan/internal/sim"
+	"sinan/internal/statplane"
 	"sinan/internal/tensor"
 )
 
@@ -111,42 +112,78 @@ func TestPredictorSlowdownVsDeadline(t *testing.T) {
 	}
 }
 
-func TestMetricDropoutMasksStats(t *testing.T) {
+// report builds a single-tier node-agent report for gate tests.
+func report(agent string, seq uint64, tier int) statplane.Report {
+	return statplane.Report{
+		Version: statplane.WireVersion, Agent: agent, Seq: seq,
+		Tiers: []statplane.TierStats{{Tier: tier, Stats: cluster.Stats{CPUUsage: 1}}},
+	}
+}
+
+func TestMetricDropoutDropsReports(t *testing.T) {
 	eng, cl := testCluster()
 	inj := New(Plan{Seed: 1, Events: []Event{
 		{Kind: MetricDropout, Start: 10, End: 20, Tier: 2},
 	}})
 	inj.Bind(eng, cl)
 
-	mk := func() []cluster.Stats {
-		st := make([]cluster.Stats, cl.NumTiers())
-		for i := range st {
-			st[i] = cluster.Stats{CPUUsage: 1 + float64(i), CPULimit: 4}
-		}
-		return st
-	}
 	eng.Run(5)
-	if ok := inj.MaskStats(mk()); ok != nil {
-		t.Fatalf("no dropout active, mask should be nil: %v", ok)
+	if v := inj.DeliverReport(report("node-2", 1, 2)); v != statplane.Deliver {
+		t.Fatalf("no dropout active, verdict = %v, want Deliver", v)
 	}
 	eng.Run(15)
-	st := mk()
-	ok := inj.MaskStats(st)
-	if ok == nil || ok[2] || !ok[0] {
-		t.Fatalf("tier 2 should be masked: %v", ok)
+	if v := inj.DeliverReport(report("node-2", 2, 2)); v != statplane.Drop {
+		t.Fatalf("tier 2's report should be dropped in the window, got %v", v)
 	}
-	if st[2] != (cluster.Stats{}) {
-		t.Fatalf("masked row not zeroed: %+v", st[2])
-	}
-	if st[0].CPUUsage != 1 {
-		t.Fatal("healthy rows must be untouched")
+	if v := inj.DeliverReport(report("node-0", 2, 0)); v != statplane.Deliver {
+		t.Fatalf("healthy tier's report must pass, got %v", v)
 	}
 	eng.Run(25)
-	if ok := inj.MaskStats(mk()); ok != nil {
-		t.Fatalf("dropout over, mask should be nil: %v", ok)
+	if v := inj.DeliverReport(report("node-2", 3, 2)); v != statplane.Deliver {
+		t.Fatalf("dropout over, verdict = %v, want Deliver", v)
 	}
 	if inj.Counters().DroppedReports != 1 {
 		t.Fatalf("counters: %+v", inj.Counters())
+	}
+}
+
+// A LossyReports window must drop and duplicate with roughly the right
+// rates, reproducibly under the same seed, without touching the predictor
+// blip RNG.
+func TestLossyReportsWindowDeterministic(t *testing.T) {
+	run := func() (drops, dups int) {
+		eng, cl := testCluster()
+		inj := New(Lossy(42, 100, 0.3))
+		inj.Bind(eng, cl)
+		eng.Run(50) // inside the [20, 80] window
+		for i := 0; i < 500; i++ {
+			switch inj.DeliverReport(report("node-0", uint64(i+1), 0)) {
+			case statplane.Drop:
+				drops++
+			case statplane.Duplicate:
+				dups++
+			}
+		}
+		return
+	}
+	d1, p1 := run()
+	d2, p2 := run()
+	if d1 != d2 || p1 != p2 {
+		t.Fatalf("lossy window not reproducible: %d/%d vs %d/%d", d1, p1, d2, p2)
+	}
+	if d1 < 100 || d1 > 200 {
+		t.Fatalf("drop rate implausible for p=0.3: %d/500", d1)
+	}
+	// Duplicates apply to survivors: expect ≈ 500·0.7·0.3 = 105.
+	if p1 < 50 || p1 > 160 {
+		t.Fatalf("dup rate implausible: %d/500", p1)
+	}
+	eng, cl := testCluster()
+	inj := New(Lossy(42, 100, 0.3))
+	inj.Bind(eng, cl)
+	eng.Run(5) // before the window
+	if v := inj.DeliverReport(report("node-0", 1, 0)); v != statplane.Deliver {
+		t.Fatalf("outside the window reports must pass, got %v", v)
 	}
 }
 

@@ -161,6 +161,50 @@ func TestHistoryOrderProperty(t *testing.T) {
 	}
 }
 
+// The scheduler's stat window wraps its ring every Cap pushes for the whole
+// run, so eviction order, At, and Slice must stay consistent through many
+// wraparounds, not just the first.
+func TestHistoryMultipleWraparounds(t *testing.T) {
+	const capacity = 4
+	h := NewHistory[int](capacity)
+	for i := 0; i < 3*capacity+2; i++ { // 3½ trips around the ring
+		h.Push(i)
+		oldest := 0
+		if i >= capacity {
+			oldest = i - capacity + 1
+		}
+		if h.At(0) != oldest {
+			t.Fatalf("after push %d: At(0) = %d, want %d", i, h.At(0), oldest)
+		}
+		if h.Last() != i {
+			t.Fatalf("after push %d: Last = %d", i, h.Last())
+		}
+		s := h.Slice()
+		if len(s) != min(capacity, i+1) {
+			t.Fatalf("after push %d: len(Slice) = %d", i, len(s))
+		}
+		for j, v := range s {
+			if v != oldest+j {
+				t.Fatalf("after push %d: Slice = %v (bad entry %d)", i, s, j)
+			}
+			if h.At(j) != v {
+				t.Fatalf("after push %d: At(%d) = %d disagrees with Slice %v", i, j, h.At(j), s)
+			}
+		}
+	}
+	// A reset ring must wrap cleanly again from a non-zero start offset.
+	h.Reset()
+	for i := 100; i < 100+2*capacity; i++ {
+		h.Push(i)
+	}
+	want := []int{100 + capacity, 101 + capacity, 102 + capacity, 103 + capacity}
+	for i, v := range h.Slice() {
+		if v != want[i] {
+			t.Fatalf("post-reset Slice = %v, want %v", h.Slice(), want)
+		}
+	}
+}
+
 func TestRMSE(t *testing.T) {
 	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
 		t.Fatalf("identical RMSE = %v", got)

@@ -13,6 +13,7 @@ import (
 	"sinan/internal/dataset"
 	"sinan/internal/metrics"
 	"sinan/internal/sim"
+	"sinan/internal/statplane"
 	"sinan/internal/telemetry"
 	"sinan/internal/workload"
 )
@@ -77,12 +78,12 @@ type TraceRow struct {
 // to a managed run (the concrete implementation lives in internal/faults;
 // the interface is declared here so runner does not import it). Bind is
 // called once before the first interval with the run's private engine and
-// cluster; MaskStats is called every interval after the node-agent read and
-// may zero entries to simulate agent dropouts, returning the per-tier
-// ok-mask (nil when every tier reported).
+// cluster. An injector that additionally implements statplane.ReportGate
+// is wired into the run's stats plane, where it acts on actual report
+// delivery — dropping or duplicating node-agent reports in flight rather
+// than falsifying assembled rows.
 type FaultInjector interface {
 	Bind(eng *sim.Engine, cl *cluster.Cluster)
-	MaskStats(stats []cluster.Stats) []bool
 }
 
 // Config describes one managed run.
@@ -98,6 +99,14 @@ type Config struct {
 	InitAlloc []float64         // starting allocation (default: per-tier max)
 	KeepTrace bool              // retain the per-interval trace
 	Faults    FaultInjector     // optional fault plan, owned by this run
+
+	// Plane, when set, builds the run's stats plane around the run's
+	// cluster and workload generator (both are created inside Run). Nil
+	// means the deterministic in-process pipeline: one node agent per tier
+	// plus a gateway reporter, gated by cfg.Faults when the injector
+	// implements statplane.ReportGate. The distributed path (sinan-run
+	// -stats-listen) supplies a factory returning a statplane.Hub.
+	Plane func(cl *cluster.Cluster, gw statplane.GatewaySource) statplane.Plane
 
 	// Metrics, when set, is the registry this run's telemetry lands on: the
 	// run-level instruments ("run.*", all derived from simulated state and
@@ -149,6 +158,27 @@ func Run(cfg Config) *Result {
 	if a, ok := cfg.Faults.(telemetry.Attacher); ok {
 		a.AttachMetrics(reg)
 	}
+
+	// The stats plane: node agents + gateway reporter + aggregator. State
+	// assembly lives behind statplane.Plane so the simulated (in-process,
+	// deterministic) and distributed (TCP hub) paths share one snapshot
+	// builder; the runner only converts IntervalState to State.
+	var plane statplane.Plane
+	if cfg.Plane != nil {
+		plane = cfg.Plane(cl, gen)
+	} else {
+		var gate statplane.ReportGate
+		if g, ok := cfg.Faults.(statplane.ReportGate); ok {
+			gate = g
+		}
+		plane = statplane.NewInProcess(statplane.Config{
+			Sampler: cl, NumTiers: cl.NumTiers(), Gateway: gen,
+			IntervalSec: Interval, Gate: gate,
+		})
+	}
+	if a, ok := plane.(telemetry.Attacher); ok {
+		a.AttachMetrics(reg)
+	}
 	var (
 		intervalsC = reg.Counter("run.intervals")
 		violations = reg.Counter("run.qos.violations")
@@ -162,29 +192,22 @@ func Run(cfg Config) *Result {
 
 	meter := metrics.NewQoSMeter(cfg.App.QoSMS)
 	res := &Result{Meter: meter, Metrics: reg}
-	lastSubmitted := int64(0)
 
 	intervals := int(cfg.Duration / Interval)
 	for i := 0; i < intervals; i++ {
 		eng.Run(float64(i+1) * Interval)
 
-		stats := cl.ReadStats()
-		var statsOK []bool
-		if cfg.Faults != nil {
-			statsOK = cfg.Faults.MaskStats(stats)
-		}
-		perc := gen.Window.Flush()
-		submitted := gen.Submitted()
-		rps := float64(submitted-lastSubmitted) / Interval
-		lastSubmitted = submitted
+		ist := plane.Collect(int64(i), eng.Now())
+		perc := ist.Perc
+		rps := ist.RPS
 		state := State{
-			Time:    eng.Now(),
-			Stats:   stats,
+			Time:    ist.Time,
+			Stats:   ist.Stats,
 			Perc:    perc,
 			Alloc:   cl.Alloc(),
 			RPS:     rps,
 			QoSMS:   cfg.App.QoSMS,
-			StatsOK: statsOK,
+			StatsOK: ist.StatsOK,
 		}
 		dec := cfg.Policy.Decide(state)
 		if dec.Alloc == nil {
@@ -209,7 +232,7 @@ func Run(cfg Config) *Result {
 		}
 
 		if cfg.Recorder != nil {
-			cfg.Recorder.Observe(stats, perc, dec.Alloc)
+			cfg.Recorder.Observe(state.Stats, perc, dec.Alloc)
 		}
 		if state.Time > cfg.Warmup {
 			meter.Observe(perc, totalOf(state.Alloc))

@@ -8,6 +8,7 @@ import (
 	"sinan/internal/dataset"
 	"sinan/internal/nn"
 	"sinan/internal/sim"
+	"sinan/internal/statplane"
 	"sinan/internal/workload"
 )
 
@@ -84,32 +85,34 @@ func TestRunAppliesPolicyAllocation(t *testing.T) {
 	}
 }
 
-// fakeInjector implements FaultInjector without importing internal/faults
-// (which depends on core and would cycle back here): it drops one tier's
-// stats every interval and records that the runner bound it.
+// fakeInjector implements FaultInjector and statplane.ReportGate without
+// importing internal/faults (which depends on core and would cycle back
+// here): it drops every report carrying one tier and records that the
+// runner bound it and routed deliveries through the gate.
 type fakeInjector struct {
 	bound bool
 	drop  int
-	masks int
+	gated int
 }
 
 func (f *fakeInjector) Bind(eng *sim.Engine, cl *cluster.Cluster) {
 	f.bound = eng != nil && cl != nil
 }
 
-func (f *fakeInjector) MaskStats(stats []cluster.Stats) []bool {
-	f.masks++
-	ok := make([]bool, len(stats))
-	for i := range ok {
-		ok[i] = i != f.drop
+func (f *fakeInjector) DeliverReport(r statplane.Report) statplane.Verdict {
+	f.gated++
+	for _, ts := range r.Tiers {
+		if ts.Tier == f.drop {
+			return statplane.Drop
+		}
 	}
-	stats[f.drop] = cluster.Stats{}
-	return ok
+	return statplane.Deliver
 }
 
-// The runner must bind the injector before the first interval, hand each
-// decision the injector's ok-mask with the masked rows zeroed, and carry a
-// policy's Degraded flag into the trace.
+// The runner must bind the injector before the first interval, wire it
+// into the stats plane as the report gate (so dropped reports surface as
+// zeroed rows with StatsOK=false), and carry a policy's Degraded flag
+// into the trace.
 func TestRunWiresFaultInjectorAndDegradedFlag(t *testing.T) {
 	app := apps.NewHotelReservation()
 	inj := &fakeInjector{drop: 1}
@@ -135,8 +138,12 @@ func TestRunWiresFaultInjectorAndDegradedFlag(t *testing.T) {
 	if !inj.bound {
 		t.Fatal("injector was never bound to the run")
 	}
-	if inj.masks != 5 || sawMask != 5 {
-		t.Fatalf("mask calls=%d, policy saw mask %d times, want 5/5", inj.masks, sawMask)
+	// One report per tier per interval passes through the gate; the policy
+	// must see tier 1 flagged missing in every one of the 5 intervals.
+	wantGated := 5 * len(app.Tiers)
+	if inj.gated != wantGated || sawMask != 5 {
+		t.Fatalf("gate calls=%d (want %d), policy saw mask %d times (want 5)",
+			inj.gated, wantGated, sawMask)
 	}
 	for i, row := range res.Trace {
 		if !row.Degraded {

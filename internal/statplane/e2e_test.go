@@ -1,0 +1,201 @@
+package statplane_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sinan/internal/apps"
+	"sinan/internal/cluster"
+	"sinan/internal/core"
+	"sinan/internal/nn"
+	"sinan/internal/runner"
+	"sinan/internal/statplane"
+	"sinan/internal/telemetry"
+	"sinan/internal/tensor"
+	"sinan/internal/workload"
+)
+
+// safePredictor always predicts comfortably-met QoS so the scheduler stays
+// model-driven: the point of the e2e test is the stats plane, not the model.
+type safePredictor struct{ d nn.Dims }
+
+func (p *safePredictor) Meta() core.ModelMeta {
+	return core.ModelMeta{D: p.d, QoSMS: 200, RMSEValid: 10, Pd: 0.25, Pu: 0.5}
+}
+
+func (p *safePredictor) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
+	b := in.Batch()
+	pred := tensor.New(b, p.d.M)
+	pv := make([]float64, b)
+	for i := 0; i < b; i++ {
+		for m := 0; m < p.d.M; m++ {
+			pred.Set(20, i, m)
+		}
+		pv[i] = 0.01
+	}
+	return pred, pv, nil
+}
+
+// flakyTransport wraps the TCP reporter with two scripted wire faults:
+// node-1's report for interval dropAt is lost, node-2's report for interval
+// dupAt is transmitted twice (a retransmit racing its original, same
+// sequence number). Gateway reports pass untouched.
+type flakyTransport struct {
+	inner         statplane.Transport
+	dropAt, dupAt int64
+	drops, dups   int
+}
+
+func (f *flakyTransport) SendReport(r statplane.Report) error {
+	if r.Interval == f.dropAt && r.Agent == "node-1" {
+		f.drops++
+		return nil
+	}
+	if r.Interval == f.dupAt && r.Agent == "node-2" {
+		f.dups++
+		if err := f.inner.SendReport(r); err != nil {
+			return err
+		}
+	}
+	return f.inner.SendReport(r)
+}
+
+func (f *flakyTransport) SendGatewayReport(g statplane.GatewayReport) error {
+	return f.inner.SendGatewayReport(g)
+}
+
+// spyPolicy records the StatsOK mask of every interval before handing the
+// state to the real scheduler.
+type spyPolicy struct {
+	inner runner.Policy
+	masks map[int][]bool // interval index -> copy of StatsOK (missing only)
+	calls int
+}
+
+func (p *spyPolicy) Name() string { return p.inner.Name() }
+
+func (p *spyPolicy) Decide(st runner.State) runner.Decision {
+	if st.StatsOK != nil {
+		p.masks[p.calls] = append([]bool(nil), st.StatsOK...)
+	}
+	p.calls++
+	return p.inner.Decide(st)
+}
+
+// The acceptance test for the distributed stats plane: a full managed run
+// whose node-agent reports travel over a real TCP loopback connection, with
+// one report dropped in flight and one duplicated. The aggregator must
+// flag the lost interval's tier StatsOK=false, swallow the duplicate by
+// sequence number, and the scheduler's hold-last-value imputation must
+// carry the run to completion without predictor errors or panics.
+func TestE2ETCPLoopbackRunWithDropAndDuplicate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network + simulation run")
+	}
+	app := apps.NewHotelReservation()
+	n := len(app.Tiers)
+	if n < 3 {
+		t.Fatalf("need ≥3 tiers for the fault script, have %d", n)
+	}
+	const (
+		dropInterval = 7
+		dupInterval  = 9
+		duration     = 24
+	)
+
+	var (
+		mu    sync.Mutex
+		flaky *flakyTransport
+		col   *statplane.Collector
+	)
+	plane := func(cl *cluster.Cluster, gw statplane.GatewaySource) statplane.Plane {
+		agg := statplane.NewAggregator(statplane.AggregatorOptions{
+			NumTiers: n, Deadline: 2 * time.Second,
+		})
+		c, err := statplane.ListenAndCollect("127.0.0.1:0", agg)
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		rep := statplane.NewReporter(c.Addr(), statplane.ReporterOptions{})
+		ft := &flakyTransport{inner: rep, dropAt: dropInterval, dupAt: dupInterval}
+		var agents []*statplane.NodeAgent
+		for i, tiers := range statplane.PartitionTiers(n, 1) {
+			name := statplane.AgentName(i)
+			agg.RegisterAgent(name)
+			agents = append(agents, statplane.NewNodeAgent(name, tiers, cl, ft))
+		}
+		agg.ExpectGateway()
+		gwRep := statplane.NewGatewayReporter("gateway", gw, runner.Interval, rep)
+		mu.Lock()
+		flaky, col = ft, c
+		mu.Unlock()
+		return statplane.New(agg, agents, gwRep)
+	}
+
+	d := nn.Dims{N: n, T: 5, F: 6, M: 5}
+	spy := &spyPolicy{
+		inner: core.NewScheduler(app, &safePredictor{d: d}, core.SchedulerOptions{}),
+		masks: map[int][]bool{},
+	}
+	reg := telemetry.NewRegistry()
+	res := runner.Run(runner.Config{
+		App: app, Policy: spy, Pattern: workload.Constant(500),
+		Duration: duration, Seed: 7, KeepTrace: true,
+		Plane: plane, Metrics: reg,
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	defer col.Close()
+
+	// The wire faults fired exactly as scripted.
+	if flaky.drops != 1 || flaky.dups != 1 {
+		t.Fatalf("fault script: drops=%d dups=%d, want 1/1", flaky.drops, flaky.dups)
+	}
+
+	// The lost report surfaced as StatsOK=false for node-1's tier in the
+	// dropped interval — and only there.
+	mask, ok := spy.masks[dropInterval]
+	if !ok {
+		t.Fatalf("interval %d never reached the policy with a StatsOK mask; masks=%v",
+			dropInterval, spy.masks)
+	}
+	for tier, okT := range mask {
+		if tier == 1 && okT {
+			t.Fatalf("tier 1 (node-1's) should be missing at interval %d: %v", dropInterval, mask)
+		}
+		if tier != 1 && !okT {
+			t.Fatalf("unexpected missing tier %d at interval %d: %v", tier, dropInterval, mask)
+		}
+	}
+	if len(spy.masks) != 1 {
+		t.Fatalf("exactly one interval should be incomplete, got %v", spy.masks)
+	}
+
+	// The duplicated report was deduped by sequence, not double-counted.
+	if v := reg.Counter("plane.reports.duplicate").Value(); v < 1 {
+		t.Fatalf("duplicate counter = %d, want ≥1", v)
+	}
+	if v := reg.Counter("plane.intervals.incomplete").Value(); v != 1 {
+		t.Fatalf("incomplete intervals = %d, want 1", v)
+	}
+	if v := reg.Counter("plane.tiers.missing").Value(); v != 1 {
+		t.Fatalf("missing tiers = %d, want 1", v)
+	}
+	if v := reg.Counter("plane.reports.received").Value(); v < int64(n*duration-1) {
+		t.Fatalf("received = %d, want ≥ %d", v, n*duration-1)
+	}
+
+	// The run itself: every interval decided, traffic served, the scheduler
+	// stayed model-driven straight through the imputation path.
+	if len(res.Trace) != duration || spy.calls != duration {
+		t.Fatalf("trace=%d decisions=%d, want %d", len(res.Trace), spy.calls, duration)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	s := spy.inner.(*core.Scheduler)
+	if s.PredictErrors() != 0 {
+		t.Fatalf("stats-plane loss must not surface as predictor errors: %d", s.PredictErrors())
+	}
+}

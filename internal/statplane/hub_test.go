@@ -1,0 +1,185 @@
+package statplane
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+)
+
+// testAgent is a minimal sinan-agent: dial, Hello, read the Assign, then
+// echo every Sample push back as a sequenced Report. It reconnects with the
+// same name and a continuing sequence when its connection drops, which is
+// exactly the behaviour the hub's session reclaim exists for.
+type testAgent struct {
+	name string
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+	seq  uint64
+
+	assigned chan []int
+	done     chan struct{}
+}
+
+func startTestAgent(t *testing.T, addr, name string) *testAgent {
+	t.Helper()
+	a := &testAgent{name: name, assigned: make(chan []int, 1)}
+	if err := a.dial(addr); err != nil {
+		t.Fatalf("agent %s dial: %v", name, err)
+	}
+	go a.loop(a.done)
+	return a
+}
+
+func (a *testAgent) dial(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	a.conn = conn
+	a.done = make(chan struct{})
+	a.dec = gob.NewDecoder(conn)
+	a.enc = gob.NewEncoder(conn)
+	if err := a.enc.Encode(&Envelope{Hello: &Hello{Version: WireVersion, Agent: a.name}}); err != nil {
+		return err
+	}
+	var env Envelope
+	if err := a.dec.Decode(&env); err != nil || env.Assign == nil {
+		return err
+	}
+	select {
+	case a.assigned <- env.Assign.Tiers:
+	default:
+	}
+	return nil
+}
+
+func (a *testAgent) loop(done chan struct{}) {
+	defer close(done)
+	for {
+		var env Envelope
+		if err := a.dec.Decode(&env); err != nil {
+			return
+		}
+		if env.Sample == nil {
+			continue
+		}
+		a.seq++
+		a.enc.Encode(&Envelope{Report: &Report{
+			Version: WireVersion, Agent: a.name, Seq: a.seq,
+			Interval: env.Sample.Interval, Time: env.Sample.Time,
+			Tiers: env.Sample.Tiers,
+		}})
+	}
+}
+
+func (a *testAgent) close() { a.conn.Close(); <-a.done }
+
+// A hub with live agents must partition the tiers, push samples, and
+// assemble complete snapshots; an agent past capacity gets an empty
+// assignment; a reconnecting agent reclaims its partition.
+func TestHubAssignsSamplesAndAssembles(t *testing.T) {
+	sampler := &fixedSampler{}
+	h, err := NewHub("127.0.0.1:0", HubConfig{
+		Sampler: sampler, NumTiers: 4, Gateway: &fixedGateway{p99: 11},
+		IntervalSec: 1, TiersPerAgent: 2, Deadline: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Partitions() != 2 {
+		t.Fatalf("partitions = %d, want 2", h.Partitions())
+	}
+
+	a0 := startTestAgent(t, h.Addr(), "alpha")
+	a1 := startTestAgent(t, h.Addr(), "beta")
+	defer a1.close()
+	if got := h.AwaitAgents(2, 5*time.Second); got != 2 {
+		t.Fatalf("agents connected = %d, want 2", got)
+	}
+	tiers0 := <-a0.assigned
+	tiers1 := <-a1.assigned
+	if len(tiers0)+len(tiers1) != 4 {
+		t.Fatalf("partitions don't cover the cluster: %v + %v", tiers0, tiers1)
+	}
+
+	st := h.Collect(0, 1.0)
+	if st.StatsOK != nil {
+		t.Fatalf("interval 0 incomplete: StatsOK=%v", st.StatsOK)
+	}
+	for i, s := range st.Stats {
+		if s.CPUUsage != float64(i+1) {
+			t.Fatalf("tier %d stats did not round-trip: %+v", i, s)
+		}
+	}
+	if !st.GatewayOK || st.RPS != 100 || st.Perc.P99() != 11 {
+		t.Fatalf("gateway summary wrong: %+v", st)
+	}
+
+	// Third agent: no partition left, empty assignment.
+	extra := startTestAgent(t, h.Addr(), "gamma")
+	if tiers := <-extra.assigned; len(tiers) != 0 {
+		t.Fatalf("over-capacity agent got tiers %v, want none", tiers)
+	}
+
+	// Reconnect: alpha drops and redials under the same name; the next
+	// interval must assemble completely again with its sequence intact.
+	a0.close()
+	if err := a0.dial(h.Addr()); err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	go a0.loop(a0.done)
+	defer a0.close()
+	if tiers := <-a0.assigned; len(tiers) != len(tiers0) {
+		t.Fatalf("reclaimed partition %v, want %v", tiers, tiers0)
+	}
+	st = h.Collect(1, 2.0)
+	if st.StatsOK != nil {
+		t.Fatalf("post-reconnect interval incomplete: StatsOK=%v", st.StatsOK)
+	}
+}
+
+// With an agent missing, Collect must come back inside the deadline with
+// that partition's tiers marked StatsOK=false — never hang the loop.
+func TestHubToleratesAbsentAgent(t *testing.T) {
+	h, err := NewHub("127.0.0.1:0", HubConfig{
+		Sampler: &fixedSampler{}, NumTiers: 2,
+		IntervalSec: 1, TiersPerAgent: 1, Deadline: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	a0 := startTestAgent(t, h.Addr(), "only")
+	defer a0.close()
+	if got := h.AwaitAgents(1, 5*time.Second); got != 1 {
+		t.Fatalf("agents = %d, want 1", got)
+	}
+	tiers := <-a0.assigned
+
+	start := time.Now()
+	st := h.Collect(0, 1.0)
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Collect blocked %v on an absent agent", waited)
+	}
+	if st.StatsOK == nil {
+		t.Fatal("second partition never connected; StatsOK must flag it")
+	}
+	for _, tier := range tiers {
+		if !st.StatsOK[tier] {
+			t.Fatalf("connected agent's tier %d flagged missing: %v", tier, st.StatsOK)
+		}
+	}
+	missing := 0
+	for _, ok := range st.StatsOK {
+		if !ok {
+			missing++
+		}
+	}
+	if missing != 1 {
+		t.Fatalf("missing tiers = %d, want 1: %v", missing, st.StatsOK)
+	}
+}

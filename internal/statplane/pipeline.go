@@ -1,0 +1,89 @@
+package statplane
+
+import (
+	"sinan/internal/telemetry"
+)
+
+// Plane is what the control loop sees of the stats plane: one call per
+// decision interval that drives sampling, reporting, and assembly, and
+// returns the interval's snapshot. The in-process Pipeline and the
+// distributed Hub both implement it, so runner.Run builds State the same
+// way whether the agents are function calls or remote processes.
+type Plane interface {
+	Collect(interval int64, now float64) IntervalState
+}
+
+// Pipeline is the in-process stats plane of a simulated run: node agents
+// (one per tier partition) and a gateway reporter emitting through a
+// shared transport into one aggregator, all synchronously within Collect.
+// With the InProcess transport the whole plane is deterministic; swap in a
+// TCP Reporter (as the loopback e2e test does) and the same pipeline
+// exercises the wire path.
+type Pipeline struct {
+	agents  []*NodeAgent
+	gateway *GatewayReporter
+	agg     *Aggregator
+}
+
+// Config assembles an in-process pipeline around one run's cluster and
+// workload generator.
+type Config struct {
+	Sampler     TierSampler
+	NumTiers    int
+	Gateway     GatewaySource // nil: no gateway reporter (RPS/Perc stay zero)
+	IntervalSec float64
+	// TiersPerAgent sets the tier-to-node placement (default 1 — each
+	// dropout then silences exactly one tier's stats).
+	TiersPerAgent int
+	// Gate optionally intercepts report delivery (fault injection).
+	Gate ReportGate
+}
+
+// NewInProcess builds the deterministic in-process plane: agents named
+// node-0..node-k over a partition of the tiers, delivering synchronously
+// through an InProcess transport.
+func NewInProcess(cfg Config) *Pipeline {
+	agg := NewAggregator(AggregatorOptions{NumTiers: cfg.NumTiers})
+	tr := &InProcess{Sink: agg, Gate: cfg.Gate}
+	p := &Pipeline{agg: agg}
+	for i, tiers := range PartitionTiers(cfg.NumTiers, cfg.TiersPerAgent) {
+		name := AgentName(i)
+		agg.RegisterAgent(name)
+		p.agents = append(p.agents, NewNodeAgent(name, tiers, cfg.Sampler, tr))
+	}
+	if cfg.Gateway != nil {
+		agg.ExpectGateway()
+		p.gateway = NewGatewayReporter("gateway", cfg.Gateway, cfg.IntervalSec, tr)
+	}
+	return p
+}
+
+// New builds a pipeline from explicit parts (agents may use any
+// transport); every agent must already be registered with agg.
+func New(agg *Aggregator, agents []*NodeAgent, gateway *GatewayReporter) *Pipeline {
+	return &Pipeline{agents: agents, gateway: gateway, agg: agg}
+}
+
+// Collect implements Plane: open the interval, let every emitter report,
+// and assemble the snapshot. Send errors are deliberately dropped — a
+// report that could not be sent is indistinguishable from one lost in
+// flight, and both surface as StatsOK=false.
+func (p *Pipeline) Collect(interval int64, now float64) IntervalState {
+	p.agg.BeginInterval(interval)
+	for _, a := range p.agents {
+		_ = a.Emit(interval, now)
+	}
+	if p.gateway != nil {
+		_ = p.gateway.Emit(interval)
+	}
+	return p.agg.Assemble(interval, now)
+}
+
+// AttachMetrics implements telemetry.Attacher by rebinding the
+// aggregator's instruments.
+func (p *Pipeline) AttachMetrics(reg *telemetry.Registry) {
+	p.agg.AttachMetrics(reg)
+}
+
+// Aggregator exposes the pipeline's aggregator (tests, hub wiring).
+func (p *Pipeline) Aggregator() *Aggregator { return p.agg }

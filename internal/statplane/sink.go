@@ -1,0 +1,76 @@
+package statplane
+
+import (
+	"sync"
+
+	"sinan/internal/telemetry"
+)
+
+// MetricsSink is an observe-only Sink: it validates and sequence-checks
+// incoming reports and exports what it sees as telemetry, without
+// assembling snapshots. sinan-serve uses it behind a Collector so a model
+// host doubling as a stats endpoint shows per-agent report flow on its
+// /metrics page; tests use it as a minimal wire-path receiver.
+type MetricsSink struct {
+	mu      sync.Mutex
+	reg     *telemetry.Registry
+	lastSeq map[string]uint64
+	gwSeq   uint64
+
+	received  *telemetry.Counter
+	duplicate *telemetry.Counter
+	rejected  *telemetry.Counter
+	gwCount   *telemetry.Counter
+	agentsG   *telemetry.Gauge
+}
+
+// NewMetricsSink creates a sink exporting onto reg ("plane.*").
+func NewMetricsSink(reg *telemetry.Registry) *MetricsSink {
+	s := &MetricsSink{
+		reg:       reg,
+		lastSeq:   make(map[string]uint64),
+		received:  reg.Counter("plane.reports.received"),
+		duplicate: reg.Counter("plane.reports.duplicate"),
+		rejected:  reg.Counter("plane.reports.rejected"),
+		gwCount:   reg.Counter("plane.gateway.received"),
+		agentsG:   reg.Gauge("plane.agents.seen"),
+	}
+	return s
+}
+
+// OfferReport implements Sink.
+func (s *MetricsSink) OfferReport(r Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.Version != WireVersion || r.Agent == "" {
+		s.rejected.Inc()
+		return
+	}
+	last, known := s.lastSeq[r.Agent]
+	if known && r.Seq <= last {
+		s.duplicate.Inc()
+		return
+	}
+	s.lastSeq[r.Agent] = r.Seq
+	if !known {
+		s.agentsG.Set(float64(len(s.lastSeq)))
+	}
+	s.received.Inc()
+	s.reg.Counter("plane.agent.reports", "agent", r.Agent).Inc()
+}
+
+// OfferGatewayReport implements Sink.
+func (s *MetricsSink) OfferGatewayReport(g GatewayReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g.Version != WireVersion {
+		s.rejected.Inc()
+		return
+	}
+	if g.Seq <= s.gwSeq {
+		s.duplicate.Inc()
+		return
+	}
+	s.gwSeq = g.Seq
+	s.gwCount.Inc()
+}

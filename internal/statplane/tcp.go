@@ -1,0 +1,328 @@
+package statplane
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"sinan/internal/telemetry"
+)
+
+// Envelope is the single gob message type of the stats-plane wire
+// protocol; exactly one field is non-nil per message. Agent→collector
+// traffic carries Report/GatewayReport (and Hello on connect); the hub's
+// collector→agent direction carries Assign and per-interval Sample pushes.
+// One message type keeps the stream self-describing without a length
+// -prefixed framing layer: gob streams are already delimited.
+type Envelope struct {
+	Report  *Report
+	Gateway *GatewayReport
+	Hello   *Hello
+	Assign  *Assign
+	Sample  *Sample
+}
+
+// Hello introduces an agent to the hub. Version gates the session the
+// same way WireVersion gates individual reports.
+type Hello struct {
+	Version int
+	Agent   string
+}
+
+// Assign is the hub's response to Hello: the tier indices the agent now
+// owns and the decision-interval length. An empty Tiers means the hub had
+// no partition left and the agent should back off and retry.
+type Assign struct {
+	Version     int
+	Tiers       []int
+	IntervalSec float64
+}
+
+// Sample is a per-interval stats push from the hub to a remote agent: the
+// simulated cluster lives with the scheduler, so the hub samples on the
+// agent's behalf and the agent turns the sample into its own sequenced
+// Report — giving the report path (loss, duplication, reordering, delay)
+// a real wire to misbehave on.
+type Sample struct {
+	Interval int64
+	Time     float64
+	Tiers    []TierStats
+}
+
+// ReporterOptions tunes the TCP transport's resilience envelope. The
+// defaults mirror predsvc's client conventions: 2s dials, 1s per-send
+// deadline, two retries with jittered exponential backoff between 50ms
+// and 500ms, redial on any error.
+type ReporterOptions struct {
+	DialTimeout time.Duration
+	SendTimeout time.Duration
+	MaxRetries  int // additional attempts after the first (negative: none)
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	JitterSeed  int64 // 0 seeds from the address for spread without flags
+}
+
+func (o *ReporterOptions) setDefaults(addr string) {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	if o.JitterSeed == 0 {
+		for _, c := range addr {
+			o.JitterSeed = o.JitterSeed*131 + int64(c)
+		}
+		o.JitterSeed |= 1
+	}
+}
+
+// Reporter is the TCP/gob Transport: it lazily dials the collector,
+// stamps a write deadline on every send, retries with jittered backoff,
+// and redials on any error. Safe for use by multiple emitters; sends are
+// serialized (one gob stream).
+type Reporter struct {
+	addr string
+	opts ReporterOptions
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	jitter *rand.Rand
+
+	sends   *telemetry.Counter
+	errs    *telemetry.Counter
+	retries *telemetry.Counter
+	redials *telemetry.Counter
+}
+
+// NewReporter creates a reporter for the collector at addr. The first
+// send dials.
+func NewReporter(addr string, opts ReporterOptions) *Reporter {
+	opts.setDefaults(addr)
+	r := &Reporter{addr: addr, opts: opts, jitter: rand.New(rand.NewSource(opts.JitterSeed))}
+	r.AttachMetrics(telemetry.NewRegistry())
+	return r
+}
+
+// AttachMetrics implements telemetry.Attacher ("plane.reporter.*"). These
+// instruments count wall-clock-driven wire events, so they only appear on
+// distributed paths where the determinism contract does not apply.
+func (r *Reporter) AttachMetrics(reg *telemetry.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sends = reg.Counter("plane.reporter.sends")
+	r.errs = reg.Counter("plane.reporter.errors")
+	r.retries = reg.Counter("plane.reporter.retries")
+	r.redials = reg.Counter("plane.reporter.redials")
+}
+
+// SendReport implements Transport.
+func (r *Reporter) SendReport(rep Report) error {
+	return r.send(&Envelope{Report: &rep})
+}
+
+// SendGatewayReport implements Transport.
+func (r *Reporter) SendGatewayReport(g GatewayReport) error {
+	return r.send(&Envelope{Gateway: &g})
+}
+
+// ErrClosed is returned by sends on a closed reporter.
+var ErrClosed = errors.New("statplane: reporter closed")
+
+func (r *Reporter) send(env *Envelope) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.retries.Inc()
+			time.Sleep(r.backoff(attempt))
+		}
+		if err := r.ensureConnLocked(); err != nil {
+			r.errs.Inc()
+			lastErr = err
+			continue
+		}
+		r.conn.SetWriteDeadline(time.Now().Add(r.opts.SendTimeout))
+		if err := r.enc.Encode(env); err != nil {
+			r.errs.Inc()
+			r.dropConnLocked()
+			lastErr = err
+			continue
+		}
+		r.sends.Inc()
+		return nil
+	}
+	return lastErr
+}
+
+// backoff computes the sleep before the attempt-th retry: exponential
+// from BackoffBase, capped at BackoffMax, with full jitter in [d/2, d) so
+// a fleet of agents recovering from one collector restart does not
+// reconnect in lockstep.
+func (r *Reporter) backoff(attempt int) time.Duration {
+	d := r.opts.BackoffBase << (attempt - 1)
+	if d > r.opts.BackoffMax {
+		d = r.opts.BackoffMax
+	}
+	return d/2 + time.Duration(r.jitter.Int63n(int64(d/2)+1))
+}
+
+func (r *Reporter) ensureConnLocked() error {
+	if r.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	r.redials.Inc()
+	r.conn = conn
+	r.enc = gob.NewEncoder(conn)
+	return nil
+}
+
+func (r *Reporter) dropConnLocked() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+		r.enc = nil
+	}
+}
+
+// Close drops the connection; subsequent sends redial.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropConnLocked()
+	return nil
+}
+
+// Collector is the receiving end of the TCP transport: it accepts agent
+// connections and feeds every decoded report into a Sink. Graceful
+// shutdown follows predsvc's server conventions: stop accepting, unblock
+// connection readers, then drain handler goroutines.
+type Collector struct {
+	lis  net.Listener
+	sink Sink
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted *telemetry.Counter
+	decoded  *telemetry.Counter
+	decErrs  *telemetry.Counter
+}
+
+// ListenAndCollect listens on addr ("host:0" for an ephemeral port) and
+// serves reports into sink.
+func ListenAndCollect(addr string, sink Sink) (*Collector, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewCollector(lis, sink), nil
+}
+
+// NewCollector serves reports from an existing listener into sink.
+func NewCollector(lis net.Listener, sink Sink) *Collector {
+	c := &Collector{lis: lis, sink: sink, conns: make(map[net.Conn]struct{})}
+	c.AttachMetrics(telemetry.NewRegistry())
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c
+}
+
+// AttachMetrics implements telemetry.Attacher ("plane.collector.*").
+func (c *Collector) AttachMetrics(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accepted = reg.Counter("plane.collector.conns")
+	c.decoded = reg.Counter("plane.collector.messages")
+	c.decErrs = reg.Counter("plane.collector.decode_errors")
+}
+
+// Addr returns the listener's address (for agents to dial).
+func (c *Collector) Addr() string { return c.lis.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.accepted.Inc()
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go c.handle(conn)
+	}
+}
+
+func (c *Collector) handle(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if !closed && !errors.Is(err, io.EOF) {
+				c.decErrs.Inc()
+			}
+			return
+		}
+		c.decoded.Inc()
+		switch {
+		case env.Report != nil:
+			c.sink.OfferReport(*env.Report)
+		case env.Gateway != nil:
+			c.sink.OfferGatewayReport(*env.Gateway)
+		}
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers
+// to drain. Idempotent.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	err := c.lis.Close()
+	c.wg.Wait()
+	return err
+}

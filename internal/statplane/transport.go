@@ -1,0 +1,81 @@
+package statplane
+
+// Transport carries reports from an emitter (node agent, gateway reporter)
+// toward the aggregator. Implementations: InProcess (deterministic, used
+// by simulated runs) and Reporter (TCP/gob, used by remote agents). A
+// transport error means the report may not have arrived — the plane is
+// best-effort by design, and a lost report surfaces downstream as a
+// StatsOK=false entry, never as a control-loop failure.
+type Transport interface {
+	SendReport(Report) error
+	SendGatewayReport(GatewayReport) error
+}
+
+// Sink is the receiving end of a transport. The Aggregator is the
+// canonical implementation; MetricsSink is an observe-only one.
+// Implementations copy what they keep: the caller may reuse the report's
+// backing storage after the call returns.
+type Sink interface {
+	OfferReport(Report)
+	OfferGatewayReport(GatewayReport)
+}
+
+// Verdict is a ReportGate's decision about one report delivery.
+type Verdict int
+
+const (
+	// Deliver passes the report through unharmed.
+	Deliver Verdict = iota
+	// Drop loses the report: the aggregator never sees it and the
+	// interval's affected tiers go StatsOK=false.
+	Drop
+	// Duplicate delivers the report twice with the same sequence number,
+	// modelling a retransmit racing its original; the aggregator must
+	// accept one copy and discard the other.
+	Duplicate
+)
+
+// ReportGate decides the fate of each node-agent report in flight — the
+// hook through which fault injection acts on actual report delivery
+// instead of reaching around the plane to falsify rows. Implemented by
+// faults.Injector; the gate must be deterministic given the run's seed
+// (sim-clock windows plus a seeded RNG) so gated runs stay bit-identical
+// across harness worker counts.
+type ReportGate interface {
+	DeliverReport(Report) Verdict
+}
+
+// InProcess is the deterministic transport of simulated runs: delivery is
+// a synchronous method call, optionally filtered through a ReportGate.
+// No goroutines, no wall clock, no buffering — the harness's bit-identical
+// serial-vs-parallel guarantee holds because nothing here can reorder.
+type InProcess struct {
+	Sink Sink
+	Gate ReportGate // optional; nil delivers everything
+}
+
+// SendReport implements Transport.
+func (t *InProcess) SendReport(r Report) error {
+	v := Deliver
+	if t.Gate != nil {
+		v = t.Gate.DeliverReport(r)
+	}
+	switch v {
+	case Drop:
+		return nil
+	case Duplicate:
+		t.Sink.OfferReport(r)
+		t.Sink.OfferReport(r)
+	default:
+		t.Sink.OfferReport(r)
+	}
+	return nil
+}
+
+// SendGatewayReport implements Transport. Gateway reports are not gated:
+// the gateway is co-located with the scheduler in every deployment this
+// repository models, so its loss modes are not interesting to inject.
+func (t *InProcess) SendGatewayReport(g GatewayReport) error {
+	t.Sink.OfferGatewayReport(g)
+	return nil
+}

@@ -111,6 +111,12 @@ func (g *Generator) Stop() { g.stopped = true }
 // Submitted returns the number of requests injected so far.
 func (g *Generator) Submitted() int64 { return g.submitted }
 
+// FlushWindow computes and resets the current interval's end-to-end
+// latency summary — the API gateway's per-interval report. Together with
+// Submitted it implements statplane.GatewaySource, making the generator
+// the gateway reporter's data source.
+func (g *Generator) FlushWindow() metrics.Percentiles { return g.Window.Flush() }
+
 // TypeCounts returns per-request-type submission counts, in app order.
 func (g *Generator) TypeCounts() []int64 {
 	return append([]int64(nil), g.typeCounts...)

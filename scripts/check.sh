@@ -26,7 +26,9 @@ echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./... "$@"
+# -shuffle=on randomises test order within each package, flushing out
+# accidental inter-test state dependence; failures print the seed to replay.
+go test -shuffle=on ./... "$@"
 
 echo "== go test -race (short) =="
 go test -race -short -timeout 30m ./... "$@"
@@ -42,6 +44,12 @@ echo "== overload smoke (race) =="
 # accounting, the scheduler's brownout ladder, and the open-loop serving
 # drive are all concurrency-heavy, so they get their own race-mode pass.
 go test -race -timeout 20m -run 'Overload|Admission|Brownout|Shed|Gate|Deadline|Serving' ./...
+
+echo "== stats-plane smoke (race) =="
+# The stats plane mixes goroutines and real sockets (TCP collector, hub
+# sessions, deadline-bounded assembly), so its aggregator/transport/hub
+# tests — plus the loopback e2e run — get a dedicated race-mode pass.
+go test -race -timeout 20m -run 'Plane|Aggregat|Reporter|Collector|Hub|Sink' ./...
 
 echo "== bench smoke =="
 go test -run='^$' -bench='ConvForward|PredictBatch' -benchtime=1x
