@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check overload bench bench-json speedup telemetry-bench statplane-bench
+.PHONY: build test race vet check overload bench bench-json speedup telemetry-bench statplane-bench lifecycle-bench
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ telemetry-bench:
 	$(GO) test -run='^$$' -bench='CounterAdd$$|HistogramObserve$$' -benchtime=1000000x \
 		./internal/telemetry/ | grep '^{' > BENCH_telemetry.json
 	cat BENCH_telemetry.json
+
+# Model-lifecycle hot paths: one gate validation (holdout replay), the
+# atomic live swap, and serving overhead through the swap-safe handle; the
+# {"bench":...} lines land in BENCH_lifecycle.json.
+lifecycle-bench:
+	$(GO) test -run='^$$' -bench='GateValidate$$|LiveSwap$$|LiveServeOverhead$$' -benchtime=1000x \
+		./internal/lifecycle/ | grep '^{' > BENCH_lifecycle.json
+	cat BENCH_lifecycle.json
 
 # Stats-plane hot paths: gob report encode/decode on an established stream
 # and one full aggregator interval cycle; the {"bench":...} lines land in

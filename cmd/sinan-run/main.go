@@ -31,6 +31,7 @@ import (
 	"sinan/internal/cluster"
 	"sinan/internal/core"
 	"sinan/internal/harness"
+	"sinan/internal/lifecycle"
 	"sinan/internal/predsvc"
 	"sinan/internal/runner"
 	"sinan/internal/statplane"
@@ -93,7 +94,7 @@ func main() {
 			defer c.Close()
 			mkPolicy = func() runner.Policy { return core.NewScheduler(app, c, schedOpts) }
 		} else {
-			m, err := core.LoadHybrid(*model)
+			m, _, err := lifecycle.LoadModelFile(*model)
 			if err != nil {
 				log.Fatalf("loading model: %v (train one with sinan-train)", err)
 			}

@@ -27,6 +27,19 @@
 // from sinan-agent/statplane reporters and exports per-agent report flow
 // ("plane.*") on the same registry — a model host doubling as a passive
 // stats endpoint for fleet visibility.
+//
+// Model lifecycle: the server also exposes Sinan.UpdateModel and
+// Sinan.Rollback, so operators can hot-swap models without a restart —
+// every install is versioned and rollback-able. -model-dir serves the
+// CURRENT version of a model registry (written by sinan-train -registry)
+// instead of a single file; -model accepts both artifact envelopes and
+// legacy raw models. -holdout arms the validation gate: candidates pushed
+// over UpdateModel replay the pinned holdout and are rejected unless their
+// RMSE is within the gate's margin of the live model's. -shadow-intervals
+// makes accepted candidates shadow-score that many live Predict calls
+// (predictions compared but not served) before promotion:
+//
+//	sinan-serve -model-dir /var/sinan/models -holdout hotel.ds -shadow-intervals 32
 package main
 
 import (
@@ -37,6 +50,8 @@ import (
 	"os/signal"
 
 	"sinan/internal/core"
+	"sinan/internal/dataset"
+	"sinan/internal/lifecycle"
 	"sinan/internal/predsvc"
 	"sinan/internal/statplane"
 	"sinan/internal/telemetry"
@@ -44,7 +59,10 @@ import (
 
 func main() {
 	var (
-		model       = flag.String("model", "sinan.model", "hybrid model path")
+		model       = flag.String("model", "sinan.model", "hybrid model path (artifact envelope or legacy raw model)")
+		modelDir    = flag.String("model-dir", "", "serve the CURRENT version of this model-registry directory instead of -model (empty = disabled)")
+		holdout     = flag.String("holdout", "", "dataset path arming the UpdateModel validation gate (empty = accept any decodable candidate)")
+		shadowIvals = flag.Int("shadow-intervals", 0, "live Predict calls a gated candidate shadow-scores before promotion (0 = promote immediately)")
 		addr        = flag.String("addr", "127.0.0.1:9090", "listen address")
 		maxActive   = flag.Int("max-active", 0, "max concurrent predictions (0 = GOMAXPROCS, <0 = no admission control)")
 		maxQueue    = flag.Int("max-queue", 0, "max queued predictions (0 = 4x max-active, <0 = no queue)")
@@ -53,19 +71,55 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := core.LoadHybrid(*model)
+	var (
+		m      *core.HybridModel
+		man    lifecycle.Manifest
+		source = *model
+		err    error
+	)
+	if *modelDir != "" {
+		reg, rerr := lifecycle.OpenRegistry(*modelDir, 0)
+		if rerr != nil {
+			log.Fatalf("opening model registry: %v", rerr)
+		}
+		m, man, err = reg.LoadCurrent()
+		source = *modelDir
+	} else {
+		m, man, err = lifecycle.LoadModelFile(*model)
+	}
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
-	srv, svc, err := predsvc.ListenAndServeWith(*addr, m, predsvc.ServiceOptions{
+
+	opts := predsvc.ServiceOptions{
 		MaxConcurrent: *maxActive,
 		MaxQueue:      *maxQueue,
-	})
+		ShadowCalls:   *shadowIvals,
+	}
+	if *holdout != "" {
+		ds, derr := dataset.LoadFile(*holdout)
+		if derr != nil {
+			log.Fatalf("loading holdout: %v", derr)
+		}
+		gate, gerr := lifecycle.NewGate(lifecycle.GateConfig{Holdout: ds})
+		if gerr != nil {
+			log.Fatalf("building validation gate: %v", gerr)
+		}
+		opts.Guard = gate
+	}
+	srv, svc, err := predsvc.ListenAndServeWith(*addr, m, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "serving %s on %s (QoS %.0fms, pd=%.3f pu=%.3f)\n",
-		*model, srv.Addr(), m.QoSMS, m.Pd, m.Pu)
+		source, srv.Addr(), m.QoSMS, m.Pd, m.Pu)
+	if man.SHA256 != "" {
+		fmt.Fprintf(os.Stderr, "artifact v%d: sha256 %.12s…, %d samples, note %q\n",
+			man.Version, man.SHA256, man.Samples, man.Note)
+	}
+	if opts.Guard != nil {
+		fmt.Fprintf(os.Stderr, "lifecycle gate armed (%s); shadow intervals: %d\n", *holdout, *shadowIvals)
+	}
 	if *metricsAddr != "" {
 		msrv, maddr, err := telemetry.Serve(*metricsAddr, svc.Metrics())
 		if err != nil {

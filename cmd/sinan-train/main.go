@@ -5,6 +5,16 @@
 // Example:
 //
 //	sinan-train -data hotel.ds -qos 200 -out hotel.model
+//
+// The output is a checksummed artifact envelope (magic, manifest with dims
+// fingerprint and SHA-256 digest, payload) written atomically — a crashed
+// or interrupted run leaves the previous file intact, never a torn one.
+// sinan-serve and sinan-run load both this format and pre-envelope raw
+// models. With -registry the model is additionally published as the next
+// version of an on-disk registry (and marked CURRENT), where sinan-serve's
+// -model-dir picks it up:
+//
+//	sinan-train -data hotel.ds -qos 200 -registry /var/sinan/models
 package main
 
 import (
@@ -13,24 +23,29 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"sinan/internal/core"
 	"sinan/internal/dataset"
+	"sinan/internal/lifecycle"
 	"sinan/internal/nn"
 )
 
 func main() {
 	var (
-		data    = flag.String("data", "dataset.gob", "input dataset path")
-		qos     = flag.Float64("qos", 200, "QoS target in ms (200 hotel, 500 social)")
-		epochs  = flag.Int("epochs", 12, "CNN training epochs")
-		lr      = flag.Float64("lr", 0.01, "CNN learning rate")
-		batch   = flag.Int("batch", 256, "CNN batch size")
-		latent  = flag.Int("latent", 32, "latent Lf width")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "sinan.model", "output model path")
-		kind    = flag.String("model", "cnn", "latency model for comparison runs: cnn | mlp | lstm")
-		verbose = flag.Bool("v", false, "log per-epoch training loss")
+		data     = flag.String("data", "dataset.gob", "input dataset path")
+		qos      = flag.Float64("qos", 200, "QoS target in ms (200 hotel, 500 social)")
+		epochs   = flag.Int("epochs", 12, "CNN training epochs")
+		lr       = flag.Float64("lr", 0.01, "CNN learning rate")
+		batch    = flag.Int("batch", 256, "CNN batch size")
+		latent   = flag.Int("latent", 32, "latent Lf width")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "sinan.model", "output model artifact path")
+		registry = flag.String("registry", "", "also publish into this model-registry directory and mark CURRENT (empty = disabled)")
+		keep     = flag.Int("keep", 0, "registry retention: versions to keep (0 = default)")
+		note     = flag.String("note", "sinan-train", "provenance note recorded in the artifact manifest")
+		kind     = flag.String("model", "cnn", "latency model for comparison runs: cnn | mlp | lstm")
+		verbose  = flag.Bool("v", false, "log per-epoch training loss")
 	)
 	flag.Parse()
 
@@ -78,8 +93,30 @@ func main() {
 	fmt.Printf("BT  : train acc %.1f%%, val acc %.1f%%, %d trees, val FPR %.1f%% FNR %.1f%%\n",
 		100*rep.TrainAcc, 100*rep.ValAcc, rep.NumTrees, 100*rep.ValFPR, 100*rep.ValFNR)
 	fmt.Printf("thresholds: pd=%.3f pu=%.3f\n", m.Pd, m.Pu)
-	if err := m.Save(*out); err != nil {
+
+	man := lifecycle.Manifest{
+		Note:          *note,
+		Samples:       ds.Len(),
+		TrainedAtUnix: time.Now().Unix(),
+	}
+	written, err := lifecycle.WriteFile(*out, m, man)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote model to %s\n", *out)
+	fmt.Printf("wrote artifact %s (sha256 %.12s…, payload %d bytes)\n",
+		*out, written.SHA256, written.PayloadLen)
+	if *registry != "" {
+		reg, err := lifecycle.OpenRegistry(*registry, *keep)
+		if err != nil {
+			log.Fatalf("opening registry: %v", err)
+		}
+		pub, err := reg.Put(m, man)
+		if err != nil {
+			log.Fatalf("publishing to registry: %v", err)
+		}
+		if err := reg.SetCurrent(pub.Version); err != nil {
+			log.Fatalf("marking current: %v", err)
+		}
+		fmt.Printf("published v%d to %s (CURRENT)\n", pub.Version, *registry)
+	}
 }

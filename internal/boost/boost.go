@@ -382,7 +382,11 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(m)
 }
 
-// LoadModel reads a model saved with Save.
+// LoadModel reads a model saved with Save. Beyond the gob decode, every
+// tree is structurally validated — feature indices within Dim, child
+// indices within the node slice and strictly forward-pointing (no cycles) —
+// so a bit-flipped blob yields an error here instead of an out-of-range
+// panic or an infinite loop inside a later predict.
 func LoadModel(r io.Reader) (*Model, error) {
 	var m Model
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
@@ -390,6 +394,28 @@ func LoadModel(r io.Reader) (*Model, error) {
 	}
 	if m.Dim <= 0 {
 		return nil, fmt.Errorf("boost: corrupt model")
+	}
+	for ti, t := range m.Trees {
+		if t == nil || len(t.Nodes) == 0 {
+			return nil, fmt.Errorf("boost: corrupt model: tree %d is empty", ti)
+		}
+		for ni, n := range t.Nodes {
+			if n.Feature < 0 {
+				continue // leaf
+			}
+			if n.Feature >= m.Dim {
+				return nil, fmt.Errorf("boost: corrupt model: tree %d node %d splits on feature %d (dim %d)",
+					ti, ni, n.Feature, m.Dim)
+			}
+			// Children must point strictly forward: trees are built by
+			// appending children after their parent, so any backward or
+			// self edge means corruption (and would loop predict forever).
+			if n.Left <= int32(ni) || n.Right <= int32(ni) ||
+				int(n.Left) >= len(t.Nodes) || int(n.Right) >= len(t.Nodes) {
+				return nil, fmt.Errorf("boost: corrupt model: tree %d node %d children %d/%d out of range",
+					ti, ni, n.Left, n.Right)
+			}
+		}
 	}
 	return &m, nil
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -350,8 +351,10 @@ type hybridBlob struct {
 	Pd, Pu           float64
 }
 
-// Save writes the hybrid model (CNN, BT, thresholds) to a file.
-func (m *HybridModel) Save(path string) error {
+// Encode writes the hybrid model (CNN, BT, thresholds) to w as gob. This is
+// the raw payload form; the versioned, checksummed artifact envelope around
+// it lives in internal/lifecycle.
+func (m *HybridModel) Encode(w io.Writer) error {
 	var latBuf, violBuf bytes.Buffer
 	if err := nn.Save(&latBuf, m.Lat); err != nil {
 		return err
@@ -359,27 +362,19 @@ func (m *HybridModel) Save(path string) error {
 	if err := m.Viol.Save(&violBuf); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return gob.NewEncoder(f).Encode(hybridBlob{
+	return gob.NewEncoder(w).Encode(hybridBlob{
 		Lat: latBuf.Bytes(), Viol: violBuf.Bytes(),
 		K: m.K, QoSMS: m.QoSMS, RMSEValid: m.RMSEValid, Pd: m.Pd, Pu: m.Pu,
 	})
 }
 
-// LoadHybrid reads a model saved with Save.
-func LoadHybrid(path string) (*HybridModel, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// DecodeHybrid reads a model written with Encode. Corrupt input yields an
+// error, never a panic: the nested CNN and BT loaders validate shapes and
+// indices before constructing anything.
+func DecodeHybrid(r io.Reader) (*HybridModel, error) {
 	var blob hybridBlob
-	if err := gob.NewDecoder(f).Decode(&blob); err != nil {
-		return nil, err
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: decoding hybrid blob: %w", err)
 	}
 	tm, err := nn.Load(bytes.NewReader(blob.Lat))
 	if err != nil {
@@ -394,4 +389,24 @@ func LoadHybrid(path string) (*HybridModel, error) {
 		K: blob.K, QoSMS: blob.QoSMS, RMSEValid: blob.RMSEValid,
 		Pd: blob.Pd, Pu: blob.Pu,
 	}, nil
+}
+
+// Save writes the hybrid model (CNN, BT, thresholds) to a file.
+func (m *HybridModel) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Encode(f)
+}
+
+// LoadHybrid reads a model saved with Save.
+func LoadHybrid(path string) (*HybridModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeHybrid(f)
 }

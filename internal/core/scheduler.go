@@ -193,12 +193,17 @@ type Scheduler struct {
 	predCtx      *PredictContext
 	candIn       nn.Inputs
 	rhRow, lhRow []float64
+
+	// Whether Pd/Pu were taken from the model's calibration (vs pinned by
+	// options): RefreshMeta re-derives only model-sourced thresholds.
+	pdFromModel, puFromModel bool
 }
 
 // NewScheduler builds the scheduler for an application.
 func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler {
 	opts = opts.withDefaults()
 	meta := m.Meta()
+	pdFromModel, puFromModel := opts.Pd == 0, opts.Pu == 0
 	if opts.Pd == 0 {
 		opts.Pd = meta.Pd
 	}
@@ -216,6 +221,9 @@ func NewScheduler(app *apps.App, m Predictor, opts SchedulerOptions) *Scheduler 
 		staleFor: make([]int, len(app.Tiers)),
 		missing:  make([]bool, len(app.Tiers)),
 		predCtx:  NewPredictContext(),
+
+		pdFromModel: pdFromModel,
+		puFromModel: puFromModel,
 	}
 	for _, tc := range app.Tiers {
 		minC, maxC := tc.MinCPU, tc.MaxCPU
@@ -258,6 +266,29 @@ func (s *Scheduler) AttachMetrics(reg *telemetry.Registry) {
 // Metrics returns the registry the scheduler's instruments currently live
 // on.
 func (s *Scheduler) Metrics() *telemetry.Registry { return s.reg }
+
+// RefreshMeta re-reads the predictor's metadata. A lifecycle manager calls
+// it after hot-swapping the served model so the scheduler's filters pick up
+// the new calibration: QoSMS/RMSEValid always refresh, and Pd/Pu re-derive
+// from the model only when they were model-sourced to begin with (explicit
+// SchedulerOptions overrides stay pinned). Dims must not change across a
+// swap — the validation gate enforces that before any promotion.
+func (s *Scheduler) RefreshMeta() {
+	meta := s.M.Meta()
+	if meta.D != s.meta.D {
+		// A dims change would invalidate the history windows and input
+		// tensors; refuse to absorb it (the gate should have rejected the
+		// swap) and keep operating on the old calibration.
+		return
+	}
+	s.meta = meta
+	if s.pdFromModel {
+		s.Opts.Pd = meta.Pd
+	}
+	if s.puFromModel {
+		s.Opts.Pu = meta.Pu
+	}
+}
 
 // Mispredictions returns the count of QoS violations the model failed to
 // predict (the trust-erosion signal of Sec. 4.3).

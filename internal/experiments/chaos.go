@@ -8,6 +8,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/faults"
 	"sinan/internal/harness"
+	"sinan/internal/lifecycle"
 	"sinan/internal/runner"
 	"sinan/internal/workload"
 )
@@ -140,6 +141,8 @@ func schedulerOf(p runner.Policy) (*core.Scheduler, bool) {
 		return v, true
 	case *latchingPolicy:
 		return v.s, true
+	case *lifecycle.Manager:
+		return v.Scheduler(), true
 	}
 	return nil, false
 }

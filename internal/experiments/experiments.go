@@ -314,6 +314,7 @@ func All() []Experiment {
 		{"table4", "Table 4 — explainability rankings", Table4},
 		{"chaos", "Chaos — QoS under predictor/agent/replica faults", Chaos},
 		{"overload", "Overload — admission control, load shedding & scheduler brownout", Overload},
+		{"drift", "Drift — gated model lifecycle vs blind swap under workload shift", Drift},
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "fig4", "fig9", "fig10", "table2", "table3",
 		"fig11", "fig12", "fig13", "fig14", "fig16", "ablation", "table4", "chaos",
-		"overload"}
+		"overload", "drift"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

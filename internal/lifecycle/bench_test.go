@@ -1,0 +1,98 @@
+package lifecycle
+
+import (
+	"fmt"
+	"testing"
+
+	"sinan/internal/core"
+	"sinan/internal/nn"
+)
+
+// The lifecycle benchmarks print one {"bench":...} JSON line each (the
+// repository's CI-scrape convention); `make lifecycle-bench` collects them
+// into BENCH_lifecycle.json. They pin the three costs the design leans on:
+// gate validation latency (how long a candidate is examined before it may
+// touch traffic), hot-swap cost (the "downtime" of a promotion — one
+// atomic pointer store), and the serve-path overhead Live adds per predict
+// (which must stay allocation-free so the scheduler's 0 allocs/op
+// enumeration path survives the indirection).
+
+func benchLive() (*Live, *fakeModel) {
+	d := nn.Dims{N: 4, T: 5, F: 6, M: 5}
+	m := &fakeModel{d: d, qos: 200, eval: truthEval(200, 8)}
+	return NewLive(m, 1), m
+}
+
+// BenchmarkGateValidate is the full validation gate: both models replay the
+// pinned holdout and the margin comparison runs. This bounds how long a
+// candidate waits at the gate before shadow scoring can begin.
+func BenchmarkGateValidate(b *testing.B) {
+	d := nn.Dims{N: 4, T: 5, F: 6, M: 5}
+	g, err := NewGate(GateConfig{Holdout: buildHoldout(d, 200, 8)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := &fakeModel{d: d, qos: 200, eval: truthEval(200, 5)}
+	cand := &fakeModel{d: d, qos: 200, eval: truthEval(200, 8)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Validate(live, cand); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N == 1 {
+		return // warm-up round; only the measured round prints
+	}
+	nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	fmt.Printf("\n{\"bench\":\"lifecycle_gate_validate\",\"ns_per_op\":%.2f,\"rows\":%d}\n", nsOp, g.Rows())
+}
+
+// BenchmarkLiveSwap is the promotion itself: the window during which a
+// model change is in flight. One atomic pointer store — this is the "swap
+// downtime" number, and it is nanoseconds.
+func BenchmarkLiveSwap(b *testing.B) {
+	l, m := benchLive()
+	m2 := &fakeModel{d: m.d, qos: m.qos, eval: m.eval}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Swap(m2, i)
+	}
+	b.StopTimer()
+	if b.N == 1 {
+		return
+	}
+	nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	allocs := testing.AllocsPerRun(1000, func() { l.Swap(m2, 7) })
+	fmt.Printf("\n{\"bench\":\"lifecycle_live_swap\",\"ns_per_op\":%.2f,\"allocs_per_op\":%.0f}\n", nsOp, allocs)
+}
+
+// BenchmarkLiveServeOverhead is the per-predict cost Live adds over calling
+// the model directly (no shadow installed — the steady state). The atomic
+// load must add zero allocations to the serve path.
+func BenchmarkLiveServeOverhead(b *testing.B) {
+	l, m := benchLive()
+	hold := buildHoldout(m.d, 200, 8)
+	in := hold.Inputs()
+	ctx := core.NewPredictContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.PredictBatch(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N == 1 {
+		return
+	}
+	nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	// Allocations attributable to Live itself: the wrapped call minus the
+	// model's own cost (the fake allocates its output tensor each call).
+	direct := testing.AllocsPerRun(1000, func() { m.PredictBatch(ctx, in) })
+	wrapped := testing.AllocsPerRun(1000, func() { l.PredictBatch(ctx, in) })
+	fmt.Printf("\n{\"bench\":\"lifecycle_live_serve\",\"ns_per_op\":%.2f,\"allocs_per_op\":%.0f,\"wrapper_allocs_per_op\":%.0f}\n",
+		nsOp, wrapped, wrapped-direct)
+}

@@ -1,0 +1,157 @@
+package lifecycle
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sinan/internal/core"
+	"sinan/internal/nn"
+	"sinan/internal/telemetry"
+	"sinan/internal/tensor"
+)
+
+// Live is the hot-swappable predictor the scheduler is pointed at: an
+// atomic pointer to the current model plus an optional shadow tap. Swapping
+// is a single pointer store, so there is never an instant at which a
+// predict call can fail because of a swap — zero predictor unavailability
+// across promotions and rollbacks, by construction. Live implements
+// core.Predictor and core.CostReporter.
+type Live struct {
+	cur    atomic.Pointer[liveSlot]
+	shadow atomic.Pointer[shadowTap]
+}
+
+type liveSlot struct {
+	p       core.Predictor
+	version int
+}
+
+// NewLive wraps p as the initial live model with the given version number.
+func NewLive(p core.Predictor, version int) *Live {
+	l := &Live{}
+	l.cur.Store(&liveSlot{p: p, version: version})
+	return l
+}
+
+// Current returns the live predictor.
+func (l *Live) Current() core.Predictor { return l.cur.Load().p }
+
+// Version returns the live version number.
+func (l *Live) Version() int { return l.cur.Load().version }
+
+// Swap atomically installs p as the live model and returns the previous
+// model and version. In-flight predictions finish on the model they loaded.
+func (l *Live) Swap(p core.Predictor, version int) (core.Predictor, int) {
+	prev := l.cur.Swap(&liveSlot{p: p, version: version})
+	return prev.p, prev.version
+}
+
+// Meta implements core.Predictor.
+func (l *Live) Meta() core.ModelMeta { return l.cur.Load().p.Meta() }
+
+// LastPredictMS implements core.CostReporter by delegating to the live
+// model when it reports costs (remote predictors do; in-process models are
+// effectively free).
+func (l *Live) LastPredictMS() float64 {
+	if cr, ok := l.cur.Load().p.(core.CostReporter); ok {
+		return cr.LastPredictMS()
+	}
+	return 0
+}
+
+// PredictBatch implements core.Predictor: the live model answers, and while
+// a shadow tap is installed the candidate scores the same inputs on the
+// side — its disagreement recorded, its answer discarded. A shadow
+// candidate can never affect the scheduler's decision or the call's
+// availability: candidate errors are noted in the tap, not returned.
+func (l *Live) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
+	slot := l.cur.Load()
+	pred, pviol, err := slot.p.PredictBatch(ctx, in)
+	if err != nil {
+		return pred, pviol, err
+	}
+	if tap := l.shadow.Load(); tap != nil {
+		tap.observe(slot.p.Meta().D, pred, in)
+	}
+	return pred, pviol, nil
+}
+
+// SetShadow installs (or, with nil, removes) the shadow tap.
+func (l *Live) SetShadow(tap *shadowTap) { l.shadow.Store(tap) }
+
+// shadowTap scores a candidate model against live traffic: every live
+// predict evaluates the candidate on the identical inputs and records the
+// absolute p99 disagreement per candidate row. The tap also remembers
+// whether the candidate ever errored or produced a non-finite prediction —
+// either disqualifies it from promotion.
+type shadowTap struct {
+	cand core.Predictor
+
+	mu       sync.Mutex
+	ctx      *core.PredictContext
+	hist     *telemetry.Histogram
+	calls    int64
+	rows     int64
+	sumAbs   float64
+	maxAbs   float64
+	failed   bool
+	failWhat string
+}
+
+func newShadowTap(cand core.Predictor, hist *telemetry.Histogram) *shadowTap {
+	return &shadowTap{cand: cand, ctx: core.NewPredictContext(), hist: hist}
+}
+
+func (t *shadowTap) observe(d nn.Dims, livePred *tensor.Dense, in nn.Inputs) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed {
+		return
+	}
+	candPred, _, err := t.cand.PredictBatch(t.ctx, in)
+	if err != nil {
+		t.failed, t.failWhat = true, "predict error: "+err.Error()
+		return
+	}
+	b := in.Batch()
+	t.calls++
+	for i := 0; i < b; i++ {
+		cv := candPred.At(i, d.M-1)
+		if math.IsNaN(cv) || math.IsInf(cv, 0) {
+			t.failed, t.failWhat = true, "non-finite prediction"
+			return
+		}
+		diff := math.Abs(cv - livePred.At(i, d.M-1))
+		t.rows++
+		t.sumAbs += diff
+		if diff > t.maxAbs {
+			t.maxAbs = diff
+		}
+		if t.hist != nil {
+			t.hist.Observe(diff)
+		}
+	}
+}
+
+// ShadowReport summarises one shadow-scoring window.
+type ShadowReport struct {
+	Calls, Rows   int64
+	MeanAbsP99MS  float64
+	MaxAbsP99MS   float64
+	Failed        bool
+	FailureReason string
+}
+
+func (t *shadowTap) report() ShadowReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := ShadowReport{
+		Calls: t.calls, Rows: t.rows,
+		MaxAbsP99MS: t.maxAbs, Failed: t.failed, FailureReason: t.failWhat,
+	}
+	if t.rows > 0 {
+		r.MeanAbsP99MS = t.sumAbs / float64(t.rows)
+	}
+	return r
+}

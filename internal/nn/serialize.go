@@ -52,10 +52,59 @@ func Save(w io.Writer, tm *TrainedModel) error {
 	return gob.NewEncoder(w).Encode(blob)
 }
 
-// Load reconstructs a trained model saved with Save.
+// Dimension sanity bounds for deserialized blobs. A corrupt or adversarial
+// blob can carry arbitrary Dims; constructing a model from huge or negative
+// dimensions would panic (or OOM) inside tensor allocation long before the
+// per-parameter length checks run, so validateBlob bounds everything first.
+const (
+	maxBlobDim    = 1 << 12 // per-axis bound (N, T, F, M, Latent)
+	maxBlobParams = 1 << 26 // total float64s across all parameter tensors
+)
+
+// validateBlob rejects blobs whose shape metadata cannot belong to a real
+// model, before any allocation is sized from it.
+func validateBlob(blob *modelBlob) error {
+	d := blob.D
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"N", d.N}, {"T", d.T}, {"F", d.F}, {"M", d.M},
+	} {
+		if v.val <= 0 || v.val > maxBlobDim {
+			return fmt.Errorf("nn: blob dims.%s = %d out of range (1..%d)", v.name, v.val, maxBlobDim)
+		}
+	}
+	if blob.Kind == "cnn" && (blob.Latent <= 0 || blob.Latent > maxBlobDim) {
+		return fmt.Errorf("nn: blob latent = %d out of range (1..%d)", blob.Latent, maxBlobDim)
+	}
+	total := 0
+	for name, data := range blob.Params {
+		if len(data) > maxBlobParams {
+			return fmt.Errorf("nn: blob parameter %q has %d values", name, len(data))
+		}
+		total += len(data)
+		if total > maxBlobParams {
+			return fmt.Errorf("nn: blob parameters total %d+ values", total)
+		}
+	}
+	if len(blob.Norm.RHMean) != d.F || len(blob.Norm.RHStd) != d.F {
+		return fmt.Errorf("nn: blob normalizer lengths %d/%d, want F=%d",
+			len(blob.Norm.RHMean), len(blob.Norm.RHStd), d.F)
+	}
+	return nil
+}
+
+// Load reconstructs a trained model saved with Save. Corrupt input —
+// truncated, bit-flipped, or shape-mismatched — returns an error, never a
+// panic: the blob's dimensions are validated before any model is built from
+// them, and every parameter tensor's length is checked before copying.
 func Load(r io.Reader) (*TrainedModel, error) {
 	var blob modelBlob
 	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, err
+	}
+	if err := validateBlob(&blob); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(0))

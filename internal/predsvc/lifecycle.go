@@ -1,0 +1,326 @@
+// Model lifecycle over the wire: the RPCs that let a trainer push a new
+// model into a running prediction service without ever leaving the
+// scheduler predictor-less. An update arrives as a checksummed lifecycle
+// artifact (corrupt bytes are refused, never panic), passes the service's
+// validation gate if one is configured, optionally shadow-scores against
+// live Predict traffic, and only then becomes the served model — one
+// atomic pointer store. Every swap retains its predecessor in a bounded
+// history so Rollback is a local operation, not a re-upload.
+//
+// Both RPCs are deliberately rare-path: they serialize on swapMu and never
+// touch the Predict fast path, which stays a lock-free atomic load.
+package predsvc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"sinan/internal/core"
+	"sinan/internal/lifecycle"
+	"sinan/internal/nn"
+)
+
+// UpdateModelArgs carries a candidate model as a lifecycle artifact
+// (magic + manifest + checksummed payload). The envelope — not a raw gob —
+// is the wire format so the server verifies integrity and dims fingerprint
+// before the payload is even decoded.
+type UpdateModelArgs struct {
+	Artifact []byte
+}
+
+// UpdateModelReply reports what the service did with the candidate.
+type UpdateModelReply struct {
+	// Version is the service's model generation after this call. It
+	// increments on every served-model change (install or rollback); an
+	// update parked in shadow keeps the current generation until promoted.
+	Version int
+	// Pending is true when the candidate passed the gate but is now shadow
+	// scoring against live traffic; promotion happens automatically after
+	// ShadowCalls successful observations.
+	Pending bool
+	// Manifest echoes the decoded artifact manifest (version, checksum,
+	// training provenance).
+	Manifest lifecycle.Manifest
+	// Gate is the validation-gate report when the service has a gate
+	// configured (zero otherwise).
+	Gate lifecycle.GateReport
+}
+
+// RollbackArgs is empty; rollback always targets the most recent
+// predecessor retained in the service's history.
+type RollbackArgs struct{}
+
+// RollbackReply reports the generation after the rollback took effect.
+type RollbackReply struct {
+	Version int
+	// Depth is how many more rollbacks remain possible.
+	Depth int
+}
+
+// errNoHistory rejects a rollback with nothing to roll back to.
+var errNoHistory = errors.New("predsvc: rollback rejected: no previous model retained")
+
+// rejectedPrefix marks server-side lifecycle refusals so clients can tell
+// "the server examined and declined this model" (an application outcome;
+// the connection is healthy) from a transport failure. net/rpc flattens
+// errors to strings, so the prefix is the classification.
+const rejectedPrefix = "predsvc: update rejected"
+
+// IsUpdateRejected reports whether err is a lifecycle refusal — corrupt
+// artifact, dims mismatch, gate rejection, or empty rollback history — in
+// local or wire form. A refusal means the server is healthy and still
+// serving its previous model.
+func IsUpdateRejected(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, rejectedPrefix) || strings.Contains(msg, errNoHistory.Error())
+}
+
+// svcShadow is a candidate under server-side shadow scoring: Predict runs
+// it on the same inputs as the live model (after the live answer is
+// already secured) until `left` observations accumulate, then the service
+// promotes it — unless any observation errored or produced a non-finite
+// prediction, which disqualifies it on the spot.
+type svcShadow struct {
+	cand *core.HybridModel
+	man  lifecycle.Manifest
+
+	// Guarded by the owning Service's swapMu — observations serialize
+	// through resolveShadowLocked, never on the Predict hot path itself.
+	ctx    *core.PredictContext
+	left   int
+	failed bool
+	reason string
+}
+
+// defaultHistoryDepth bounds the rollback history when ServiceOptions
+// leaves HistoryDepth zero.
+const defaultHistoryDepth = 4
+
+// GuardedSwap is the in-process gated install: the same validation
+// UpdateModel applies on the wire (dims fingerprint, then the holdout
+// gate when one is configured), without the artifact round trip. On
+// refusal the service keeps serving its previous model.
+func (s *Service) GuardedSwap(m *core.HybridModel) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.model.Load()
+	if m == nil {
+		s.updRejected.Inc()
+		return fmt.Errorf("%s: nil model", rejectedPrefix)
+	}
+	if m.D != cur.D {
+		s.updRejected.Inc()
+		return fmt.Errorf("%s: dims %+v do not match served model %+v", rejectedPrefix, m.D, cur.D)
+	}
+	if s.guard != nil {
+		if _, err := s.guard.Validate(cur, m); err != nil {
+			s.updRejected.Inc()
+			return fmt.Errorf("%s by validation gate: %w", rejectedPrefix, err)
+		}
+	}
+	s.installLocked(m)
+	s.updates.Inc()
+	return nil
+}
+
+// UpdateModel implements the RPC method: decode → fingerprint check →
+// validation gate → shadow or install. Every refusal is an error return
+// with the service still on its previous model; nothing in this path can
+// panic on hostile bytes (lifecycle.Decode verifies the checksum before
+// gob sees the payload, and decoded tensors are shape-validated).
+func (s *Service) UpdateModel(args *UpdateModelArgs, reply *UpdateModelReply) error {
+	cand, man, err := lifecycle.Decode(args.Artifact)
+	if err != nil {
+		s.updRejected.Inc()
+		return fmt.Errorf("%s: %w", rejectedPrefix, err)
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.model.Load()
+	if cand.D != cur.D {
+		s.updRejected.Inc()
+		return fmt.Errorf("%s: dims %+v do not match served model %+v", rejectedPrefix, cand.D, cur.D)
+	}
+	if s.guard != nil {
+		rep, gerr := s.guard.Validate(cur, cand)
+		reply.Gate = rep
+		if gerr != nil {
+			s.updRejected.Inc()
+			return fmt.Errorf("%s by validation gate: %w", rejectedPrefix, gerr)
+		}
+	}
+	reply.Manifest = man
+	if s.shadowN > 0 {
+		// Park the candidate for shadow scoring. A newer update replaces
+		// any candidate already in shadow — last write wins, and the
+		// displaced candidate simply never promotes.
+		s.shadowSlot.Store(&svcShadow{
+			cand: cand, man: man,
+			ctx:  core.NewPredictContext(),
+			left: s.shadowN,
+		})
+		reply.Pending = true
+		reply.Version = int(s.version.Load())
+		return nil
+	}
+	reply.Version = s.installLocked(cand)
+	s.updates.Inc()
+	return nil
+}
+
+// Rollback implements the RPC method: restore the most recent predecessor.
+// Any candidate still in shadow is discarded first — a rollback is an
+// operator override, and promoting a pending candidate moments after it
+// would defeat the point.
+func (s *Service) Rollback(_ *RollbackArgs, reply *RollbackReply) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if sh := s.shadowSlot.Swap(nil); sh != nil {
+		s.shadowRejected.Inc()
+	}
+	n := len(s.history)
+	if n == 0 {
+		return errNoHistory
+	}
+	prev := s.history[n-1]
+	s.history = s.history[:n-1]
+	s.model.Store(prev)
+	v := s.version.Add(1)
+	s.versionG.Set(float64(v))
+	s.rollbacks.Inc()
+	reply.Version = int(v)
+	reply.Depth = len(s.history)
+	return nil
+}
+
+// installLocked makes m the served model, retaining the displaced model as
+// a rollback target (history bounded by HistoryDepth — oldest falls off).
+// Caller holds swapMu. Returns the new generation.
+func (s *Service) installLocked(m *core.HybridModel) int {
+	prev := s.model.Load()
+	s.history = append(s.history, prev)
+	if over := len(s.history) - s.histDepth; over > 0 {
+		s.history = append(s.history[:0], s.history[over:]...)
+	}
+	s.model.Store(m)
+	v := s.version.Add(1)
+	s.versionG.Set(float64(v))
+	return int(v)
+}
+
+// observeShadow feeds one live batch to the candidate in shadow, if any.
+// Called from Predict after the live answer is secured, so shadow cost
+// never delays promotion decisions into the client's critical path — and a
+// candidate failure is recorded, never returned to the caller.
+func (s *Service) observeShadow(in nn.Inputs) {
+	sh := s.shadowSlot.Load()
+	if sh == nil {
+		return
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.shadowSlot.Load() != sh || sh.left <= 0 {
+		return // replaced or already resolved while we waited
+	}
+	pred, pviol, err := sh.cand.PredictBatch(sh.ctx, in)
+	switch {
+	case err != nil:
+		sh.failed, sh.reason = true, err.Error()
+	default:
+		for _, v := range pred.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				sh.failed, sh.reason = true, "non-finite latency prediction"
+			}
+		}
+		for _, v := range pviol {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				sh.failed, sh.reason = true, "non-finite violation probability"
+			}
+		}
+	}
+	sh.left--
+	if sh.failed || sh.left == 0 {
+		s.shadowSlot.Store(nil)
+		if sh.failed {
+			s.shadowRejected.Inc()
+			return
+		}
+		s.installLocked(sh.cand)
+		s.updates.Inc()
+		s.shadowPromoted.Inc()
+	}
+}
+
+// ModelVersion returns the service's model generation: 1 at construction,
+// +1 per install or rollback. In-process counterpart of the wire replies.
+func (s *Service) ModelVersion() int { return int(s.version.Load()) }
+
+// ShadowPending reports whether a candidate is currently shadow scoring.
+func (s *Service) ShadowPending() bool { return s.shadowSlot.Load() != nil }
+
+// ErrLifecycleUnsupported is returned by the client's UpdateModel/Rollback
+// against a server that predates the lifecycle RPCs: the service is
+// healthy — it answered — it just cannot hot-swap models. The connection
+// is kept, mirroring ErrStatsUnsupported.
+var ErrLifecycleUnsupported = errors.New("predsvc: server does not implement the model lifecycle RPCs")
+
+// UpdateModel pushes a model artifact to the connected service. On success
+// the client refreshes its cached metadata (thresholds may have changed
+// with the model). A gate rejection comes back as an error satisfying
+// IsUpdateRejected with the connection intact — the server is healthy and
+// still serving its previous model.
+func (c *Client) UpdateModel(artifact []byte) (UpdateModelReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var reply UpdateModelReply
+	err := c.callOnce("Sinan.UpdateModel", &UpdateModelArgs{Artifact: artifact}, &reply, c.opts.AdminTimeout)
+	if err != nil {
+		if isUnknownMethod(err) {
+			return reply, fmt.Errorf("%w (server said: %v)", ErrLifecycleUnsupported, err)
+		}
+		if !IsUpdateRejected(err) {
+			c.dropConn()
+		}
+		return reply, err
+	}
+	c.refreshMetaLocked()
+	return reply, nil
+}
+
+// Rollback asks the connected service to restore its previous model. The
+// client metadata is refreshed on success, so a rollback taken while the
+// breaker is half-open re-arms the scheduler with the restored model's
+// thresholds the moment the probe lands.
+func (c *Client) Rollback() (RollbackReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var reply RollbackReply
+	err := c.callOnce("Sinan.Rollback", &RollbackArgs{}, &reply, c.opts.AdminTimeout)
+	if err != nil {
+		if isUnknownMethod(err) {
+			return reply, fmt.Errorf("%w (server said: %v)", ErrLifecycleUnsupported, err)
+		}
+		if !IsUpdateRejected(err) {
+			c.dropConn()
+		}
+		return reply, err
+	}
+	c.refreshMetaLocked()
+	return reply, nil
+}
+
+// refreshMetaLocked re-fetches model metadata after a lifecycle change.
+// Best-effort: a failure keeps the previous (dims-compatible) metadata,
+// and the next Predict surfaces any real transport problem. Caller holds
+// c.mu.
+func (c *Client) refreshMetaLocked() {
+	var mr MetaReply
+	if err := c.callOnce("Sinan.Meta", &struct{}{}, &mr, c.opts.CallTimeout); err == nil {
+		c.meta = mr.Meta
+	}
+}

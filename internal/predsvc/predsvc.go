@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sinan/internal/core"
+	"sinan/internal/lifecycle"
 	"sinan/internal/nn"
 	"sinan/internal/telemetry"
 	"sinan/internal/tensor"
@@ -65,11 +66,30 @@ type Service struct {
 	ctxs  sync.Pool
 	gate  *gate
 
+	// Model lifecycle (see lifecycle.go). swapMu serializes the rare-path
+	// mutations — UpdateModel, Rollback, shadow resolution — and guards
+	// history and the shadow slot's interior; the Predict fast path only
+	// ever takes it when a shadow candidate is installed.
+	swapMu     sync.Mutex
+	version    atomic.Int64        // model generation: 1 at birth, +1 per install/rollback
+	history    []*core.HybridModel // displaced models, newest last; rollback targets
+	histDepth  int                 // bound on len(history)
+	guard      *lifecycle.Gate     // nil = updates are not holdout-validated
+	shadowN    int                 // live observations before a candidate promotes; 0 = install immediately
+	shadowSlot atomic.Pointer[svcShadow]
+
 	reg       *telemetry.Registry
 	rpcLatMS  *telemetry.Histogram // wall time of each Predict RPC, ms
 	inflight  *telemetry.Gauge     // Predict RPCs between entry and reply
 	rejected  *telemetry.Counter   // malformed requests refused pre-admission
 	predicted *telemetry.Counter   // candidate rows served (batch sizes summed)
+
+	updates        *telemetry.Counter // models installed via UpdateModel (incl. shadow promotions)
+	updRejected    *telemetry.Counter // updates refused: corrupt, dims, or gate
+	rollbacks      *telemetry.Counter // Rollback RPCs that took effect
+	shadowPromoted *telemetry.Counter // candidates promoted after shadow scoring
+	shadowRejected *telemetry.Counter // candidates disqualified in shadow (or displaced by rollback)
+	versionG       *telemetry.Gauge   // current model generation
 }
 
 // NewService wraps a hybrid model for serving with default admission
@@ -85,13 +105,28 @@ func NewServiceWith(m *core.HybridModel, opts ServiceOptions) *Service {
 	reg := telemetry.NewRegistry()
 	s := &Service{
 		gate:      newGate(opts, reg),
+		guard:     opts.Guard,
+		shadowN:   opts.ShadowCalls,
+		histDepth: opts.HistoryDepth,
 		reg:       reg,
 		rpcLatMS:  reg.Histogram("server.rpc.predict.latency_ms"),
 		inflight:  reg.Gauge("server.rpc.predict.inflight"),
 		rejected:  reg.Counter("server.rpc.predict.rejected"),
 		predicted: reg.Counter("server.rpc.predict.rows"),
+
+		updates:        reg.Counter("server.lifecycle.updates"),
+		updRejected:    reg.Counter("server.lifecycle.rejected"),
+		rollbacks:      reg.Counter("server.lifecycle.rollbacks"),
+		shadowPromoted: reg.Counter("server.lifecycle.shadow_promoted"),
+		shadowRejected: reg.Counter("server.lifecycle.shadow_rejected"),
+		versionG:       reg.Gauge("server.lifecycle.version"),
+	}
+	if s.histDepth <= 0 {
+		s.histDepth = defaultHistoryDepth
 	}
 	s.model.Store(m)
+	s.version.Store(1)
+	s.versionG.Set(1)
 	return s
 }
 
@@ -101,10 +136,17 @@ func NewServiceWith(m *core.HybridModel, opts ServiceOptions) *Service {
 // Export it with telemetry.Serve (the -metrics-addr flag on sinan-serve).
 func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 
-// Swap atomically replaces the served model (incremental retraining pushes
-// a fine-tuned model without restarting the service). In-flight requests
-// finish on the model they loaded; new requests see the new one.
-func (s *Service) Swap(m *core.HybridModel) { s.model.Store(m) }
+// Swap replaces the served model unconditionally (the in-process trusted
+// path: the caller has already decided). In-flight requests finish on the
+// model they loaded; new requests see the new one. The displaced model is
+// retained for Rollback and the generation counter advances, so blind
+// swaps and gated updates share one history. For a swap that must pass
+// the validation gate first, use GuardedSwap; over the wire, UpdateModel.
+func (s *Service) Swap(m *core.HybridModel) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.installLocked(m)
+}
 
 // Predict implements the RPC method. Requests pass the admission gate
 // before touching the model: saturated, the gate queues briefly and sheds
@@ -163,6 +205,10 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 	reply.M = d.M
 	reply.PViol = append([]float64(nil), pviol...)
 	s.predicted.Add(int64(args.Batch))
+	// Feed a shadow candidate, if one is parked, the same inputs the live
+	// model just answered. The live reply above is already secured — a
+	// shadow failure disqualifies the candidate, never this request.
+	s.observeShadow(in)
 	return nil
 }
 
@@ -329,6 +375,11 @@ type ClientOptions struct {
 	// JitterSeed seeds the backoff jitter stream (default 1): keep it fixed
 	// for reproducible tests, vary it across replicas to avoid retry herds.
 	JitterSeed int64
+
+	// AdminTimeout bounds lifecycle RPCs (UpdateModel, Rollback): artifact
+	// uploads carry whole models plus a server-side gate replay, so they
+	// get a longer leash than Predict calls (default 10s).
+	AdminTimeout time.Duration
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -358,6 +409,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.JitterSeed == 0 {
 		o.JitterSeed = 1
+	}
+	if o.AdminTimeout <= 0 {
+		o.AdminTimeout = 10 * time.Second
 	}
 	return o
 }

@@ -299,3 +299,99 @@ func (s *slowSvc) Wait(_ *struct{}, _ *struct{}) error {
 // A degraded-capable scheduler stays a Policy even when driven by the
 // remote client — compile-time wiring check for the fallback path.
 var _ core.Predictor = (*Client)(nil)
+
+// Rollback while the breaker is half-open: a model goes live, the service
+// dies long enough to open the client's breaker, and when it comes back
+// the operator rolls the model back before any probe has closed the
+// breaker. The lifecycle RPCs are operator actions — they bypass the
+// breaker, land over a fresh connection, and re-arm the client with the
+// restored model's metadata; the next half-open Predict probe then closes
+// the breaker against the rolled-back model.
+func TestRollbackWhileBreakerHalfOpen(t *testing.T) {
+	m1 := tinyHybrid(t)
+	m2 := *m1
+	m2.RMSEValid = 99 // distinguishable metadata for the swapped-in model
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	svc := NewService(m1)
+	srv, err := Serve(lis, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Swap(&m2) // serving m2; m1 retained as the rollback target
+
+	c, err := DialWith(addr, ClientOptions{
+		DialTimeout:      500 * time.Millisecond,
+		CallTimeout:      500 * time.Millisecond,
+		MaxRetries:       -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(2000, 0)
+	c.now = func() time.Time { return clock }
+	c.sleep = func(time.Duration) {}
+	defer c.Close()
+
+	in := mkBatch(m1.D, 2)
+	if _, _, err := c.PredictBatch(nil, in); err != nil {
+		t.Fatalf("healthy predict: %v", err)
+	}
+	if got := c.Meta().RMSEValid; got != 99 {
+		t.Fatalf("client metadata RMSEValid = %v, want the swapped model's 99", got)
+	}
+
+	// Outage: three failures open the breaker.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.PredictBatch(nil, in); err == nil {
+			t.Fatalf("call %d against dead server should fail", i)
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker should be open: %+v", st)
+	}
+
+	// The host restarts with its model state rebuilt (a fresh Service, as
+	// a registry-backed host would reload it: m2 live, m1 retained) and
+	// the cooldown elapses — the breaker is poised half-open but no probe
+	// has run yet.
+	svc2 := NewService(m1)
+	svc2.Swap(&m2)
+	lis2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(lis2, svc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	clock = clock.Add(31 * time.Second)
+
+	rb, err := c.Rollback()
+	if err != nil {
+		t.Fatalf("rollback during half-open window: %v", err)
+	}
+	if rb.Version != 3 {
+		t.Fatalf("rollback generation %d, want 3 (birth, swap, rollback)", rb.Version)
+	}
+	if got := c.Meta().RMSEValid; got != m1.RMSEValid {
+		t.Fatalf("client metadata RMSEValid = %v after rollback, want %v", got, m1.RMSEValid)
+	}
+
+	// The probe lands on the restored model and closes the breaker.
+	if _, _, err := c.PredictBatch(nil, in); err != nil {
+		t.Fatalf("half-open probe after rollback: %v", err)
+	}
+	if c.state != breakerClosed {
+		t.Fatalf("probe success should close the breaker, state=%d", c.state)
+	}
+}

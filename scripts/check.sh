@@ -45,6 +45,13 @@ echo "== overload smoke (race) =="
 # drive are all concurrency-heavy, so they get their own race-mode pass.
 go test -race -timeout 20m -run 'Overload|Admission|Brownout|Shed|Gate|Deadline|Serving' ./...
 
+echo "== lifecycle smoke (race) =="
+# Model lifecycle: hot swaps, shadow scoring, drift-triggered retrains, and
+# rollbacks all mutate the live model under concurrent Predict traffic, so
+# the lifecycle manager/artifact/gate tests and the predsvc swap-vs-predict
+# races get a dedicated race-mode pass.
+go test -race -timeout 20m -run 'Lifecycle|Artifact|Manager|Registry|UpdateModel|Rollback|Swap|Drift' ./...
+
 echo "== stats-plane smoke (race) =="
 # The stats plane mixes goroutines and real sockets (TCP collector, hub
 # sessions, deadline-bounded assembly), so its aggregator/transport/hub
