@@ -30,7 +30,7 @@ bench:
 # Inference/training micro-benchmarks; each prints one machine-readable
 # {"bench":...} JSON line, scraped into BENCH_infer.json for CI tracking.
 bench-json:
-	$(GO) test -run='^$$' -bench='ConvForward|PredictBatch|TrainEpoch' -benchtime=1x \
+	$(GO) test -run='^$$' -bench='ConvForward|PredictBatch$$|PredictShared|TrainEpoch' -benchtime=1x \
 		| grep '^{' > BENCH_infer.json
 	cat BENCH_infer.json
 

@@ -175,6 +175,60 @@ func BenchmarkPredictBatch(b *testing.B) {
 	fmt.Printf("{\"bench\":\"predict_batch\",\"cands\":%d,\"ms_per_op\":%.3f}\n", cands, perOp)
 }
 
+// BenchmarkPredictShared compares shared-history candidate evaluation
+// against the naive per-candidate form at scheduler-relevant batch sizes:
+// the naive path recomputes the conv trunk B times on B bit-identical
+// history windows (and would ship B copies over the wire), the shared path
+// runs it once and broadcasts. Prints one JSON line per batch size with
+// both timings and the wire payload sizes (floats per query).
+func BenchmarkPredictShared(b *testing.B) {
+	l := sharedLab()
+	m, _ := l.SocialModel()
+	d := m.D
+	for _, cands := range []int{8, 64} {
+		b.Run(fmt.Sprintf("B%d", cands), func(b *testing.B) {
+			in := nn.SharedInputs{
+				RH: tensor.New(1, d.F, d.N, d.T),
+				LH: tensor.New(1, d.T, d.M),
+				RC: tensor.New(cands, d.N),
+			}
+			for i := range in.RH.Data {
+				in.RH.Data[i] = float64(i%17) * 0.1
+			}
+			for i := range in.LH.Data {
+				in.LH.Data[i] = float64(i%7) * 5
+			}
+			for i := range in.RC.Data {
+				in.RC.Data[i] = 2
+			}
+			var full nn.Inputs
+			in.Expand(&full)
+			ctx := core.NewPredictContext()
+
+			m.PredictBatch(ctx, full) // warm the context buffers
+			naiveStart := time.Now()
+			const naiveReps = 5
+			for i := 0; i < naiveReps; i++ {
+				m.PredictBatch(ctx, full)
+			}
+			naiveMS := float64(time.Since(naiveStart).Microseconds()) / 1000 / naiveReps
+
+			m.PredictShared(ctx, in) // warm the shared buffers
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				m.PredictShared(ctx, in)
+			}
+			sharedMS := float64(time.Since(start).Microseconds()) / 1000 / float64(b.N)
+			b.StopTimer()
+			winFloats := d.F*d.N*d.T + d.T*d.M
+			fmt.Printf("{\"bench\":\"predict_shared\",\"cands\":%d,\"shared_ms\":%.3f,\"naive_ms\":%.3f,\"speedup\":%.2f,\"payload_floats\":%d,\"naive_payload_floats\":%d}\n",
+				cands, sharedMS, naiveMS, naiveMS/sharedMS,
+				winFloats+cands*d.N, cands*(winFloats+d.N))
+		})
+	}
+}
+
 // BenchmarkTrainEpoch measures one epoch of data-parallel minibatch training
 // on a synthetic scheduler-sized dataset and prints one JSON line.
 func BenchmarkTrainEpoch(b *testing.B) {

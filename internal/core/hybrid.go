@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"sinan/internal/boost"
@@ -165,21 +166,24 @@ func btFeatures(tm *nn.TrainedModel, ds *dataset.Dataset) ([][]float64, []bool) 
 // btRow assembles one BT feature row for sample i of a batch.
 func btRow(latent *tensor.Dense, in nn.Inputs, d nn.Dims, i int) []float64 {
 	row := make([]float64, latent.Shape[1]+2*d.N)
-	btRowInto(row, latent, in, d, i)
+	rhRow := d.F * d.N * d.T
+	btRowInto(row, latent, i, in.RH.Data[i*rhRow:(i+1)*rhRow], in.RC.Data[i*d.N:(i+1)*d.N], d)
 	return row
 }
 
-// btRowInto fills a caller-owned BT feature row for sample i of a batch;
-// row must have length latent width + 2N.
-func btRowInto(row []float64, latent *tensor.Dense, in nn.Inputs, d nn.Dims, i int) {
+// btRowInto fills a caller-owned BT feature row for candidate i: the CNN
+// latent, the candidate allocation rc, and the per-tier prospective
+// utilization read from the candidate's raw history window rhWin ([F,N,T]
+// flattened). row must have length latent width + 2N. Taking the window as
+// a per-sample slice lets the full-batch path (one window per row) and the
+// shared-history path (one window for all rows) share this code.
+func btRowInto(row []float64, latent *tensor.Dense, i int, rhWin, rc []float64, d nn.Dims) {
 	l := latent.Shape[1]
 	copy(row, latent.Data[i*l:(i+1)*l])
-	rc := in.RC.Data[i*d.N : (i+1)*d.N]
 	copy(row[l:], rc)
-	rhRow := d.F * d.N * d.T
 	for t := 0; t < d.N; t++ {
-		// CPU-usage channel (f=0), latest timestep.
-		usage := in.RH.Data[i*rhRow+t*d.T+d.T-1]
+		// CPU-usage channel, latest timestep, of the [F,N,T] window.
+		usage := rhWin[(dataset.ChanCPUUsage*d.N+t)*d.T+d.T-1]
 		alloc := rc[t]
 		if alloc < 1e-9 {
 			alloc = 1e-9
@@ -187,6 +191,11 @@ func btRowInto(row []float64, latent *tensor.Dense, in nn.Inputs, d nn.Dims, i i
 		row[l+d.N+t] = usage / alloc
 	}
 }
+
+// minCalibViolations is the fewest validation violation samples for which
+// the 1%-false-negative quantile is trusted; below it calibrateThresholds
+// keeps the 0.25/0.5 defaults.
+const minCalibViolations = 100
 
 // calibrateThresholds picks p_u as the largest threshold keeping validation
 // false negatives at or below 1% of violation samples (Sec. 4.3), and p_d
@@ -198,7 +207,12 @@ func calibrateThresholds(bt *boost.Model, X [][]float64, y []bool) (pd, pu float
 			violProbs = append(violProbs, bt.PredictProb(x))
 		}
 	}
-	if len(violProbs) == 0 {
+	// The 1%-FN quantile needs at least 100 violation samples to be a
+	// quantile at all: below that the index truncates to 0 and p_u becomes
+	// the single lowest predicted probability — one mislabeled sample drags
+	// it to the floor and freezes reclamation for the model's lifetime. With
+	// too few violations the defaults are the honest choice.
+	if len(violProbs) < minCalibViolations {
 		return 0.25, 0.5
 	}
 	sort.Float64s(violProbs)
@@ -227,6 +241,11 @@ type PredictContext struct {
 	NN  *nn.Context
 	pv  []float64
 	row []float64
+
+	// expand holds the materialised full-batch form of shared-history
+	// inputs for predictors without a PredictShared fast path (see
+	// PredictSharedAuto).
+	expand nn.Inputs
 }
 
 // NewPredictContext returns an empty prediction context.
@@ -261,8 +280,38 @@ func (m *HybridModel) PredictBatch(ctx *PredictContext, in nn.Inputs) (*tensor.D
 		ctx.row = make([]float64, need)
 	}
 	row := ctx.row[:need]
+	rhRow := m.D.F * m.D.N * m.D.T
 	for i := 0; i < b; i++ {
-		btRowInto(row, latent, in, m.D, i)
+		btRowInto(row, latent, i, in.RH.Data[i*rhRow:(i+1)*rhRow], in.RC.Data[i*m.D.N:(i+1)*m.D.N], m.D)
+		pv[i] = m.Viol.PredictProb(row)
+	}
+	return pred, pv, nil
+}
+
+// PredictShared is the deduplicated form of PredictBatch: the history
+// window arrives once ([1,F,N,T] / [1,T,M]) with per-candidate allocations
+// [B,N], the CNN trunk runs once with its activations broadcast across the
+// candidate batch, and the Boosted Trees rows read the one shared window.
+// Outputs are bit-identical to PredictBatch on the expanded batch — the
+// parity tests pin that — at roughly 1/B of the trunk compute. Ownership
+// and error semantics match PredictBatch.
+func (m *HybridModel) PredictShared(ctx *PredictContext, in nn.SharedInputs) (*tensor.Dense, []float64, error) {
+	if ctx == nil {
+		ctx = NewPredictContext()
+	}
+	pred, latent := m.Lat.PredictSharedCtx(ctx.NN, in)
+	b := in.Batch()
+	if cap(ctx.pv) < b {
+		ctx.pv = make([]float64, b)
+	}
+	pv := ctx.pv[:b]
+	need := latent.Shape[1] + 2*m.D.N
+	if cap(ctx.row) < need {
+		ctx.row = make([]float64, need)
+	}
+	row := ctx.row[:need]
+	for i := 0; i < b; i++ {
+		btRowInto(row, latent, i, in.RH.Data, in.RC.Data[i*m.D.N:(i+1)*m.D.N], m.D)
 		pv[i] = m.Viol.PredictProb(row)
 	}
 	return pred, pv, nil
@@ -391,14 +440,39 @@ func DecodeHybrid(r io.Reader) (*HybridModel, error) {
 	}, nil
 }
 
-// Save writes the hybrid model (CNN, BT, thresholds) to a file.
+// Save writes the hybrid model (CNN, BT, thresholds) to a file with the
+// same atomic-write discipline as lifecycle.WriteFile: encode into a temp
+// file in the destination directory, fsync, check Close (a full disk often
+// surfaces only there — swallowing it would leave a silently truncated
+// model), and rename into place. On any failure the destination is
+// untouched and the temp file is removed.
 func (m *HybridModel) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".hybrid-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return m.Encode(f)
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadHybrid reads a model saved with Save.

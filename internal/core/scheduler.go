@@ -124,6 +124,32 @@ type Predictor interface {
 	Meta() ModelMeta
 }
 
+// SharedPredictor is the optional deduplicated fast path: candidates of one
+// decision interval share a single history window, so implementations take
+// it once plus per-candidate allocations instead of a batch of repeated
+// rows. *HybridModel and predsvc.Client implement it; predictors that do
+// not are served through PredictSharedAuto's expansion bridge.
+type SharedPredictor interface {
+	PredictShared(ctx *PredictContext, in nn.SharedInputs) (*tensor.Dense, []float64, error)
+}
+
+// PredictSharedAuto evaluates a shared-history candidate batch on any
+// Predictor: the deduplicated path when p implements SharedPredictor,
+// otherwise the window is expanded into ctx's scratch and sent down the
+// ordinary per-row PredictBatch. Either way the results are those of
+// PredictBatch on the expanded batch — bit-identical, per the shared-path
+// contract.
+func PredictSharedAuto(p Predictor, ctx *PredictContext, in nn.SharedInputs) (*tensor.Dense, []float64, error) {
+	if sp, ok := p.(SharedPredictor); ok {
+		return sp.PredictShared(ctx, in)
+	}
+	if ctx == nil {
+		ctx = NewPredictContext()
+	}
+	in.Expand(&ctx.expand)
+	return p.PredictBatch(ctx, ctx.expand)
+}
+
 // ModelMeta is the model metadata the scheduler's filters depend on.
 type ModelMeta struct {
 	D                nn.Dims
@@ -185,13 +211,16 @@ type Scheduler struct {
 	decideLatMS       *telemetry.Histogram // wall cost of each Decide
 	predictLatMS      *telemetry.Histogram // wall cost of each model query
 	candBatch         *telemetry.Histogram // candidate batch sizes sent to the model
+	payloadFloats     *telemetry.Gauge     // float64s shipped to the model by the last query
 
-	// Per-scheduler model-evaluation state: the prediction context and the
-	// reused candidate-batch input tensors. These make the steady-state
-	// decide path allocation-free on the model side while the shared
-	// Predictor itself stays immutable.
+	// Per-scheduler model-evaluation state: the prediction context, the
+	// reused per-candidate allocation tensor, and the view headers wrapping
+	// the one shared history window. These make the steady-state decide
+	// path allocation-free on the model side while the shared Predictor
+	// itself stays immutable.
 	predCtx      *PredictContext
-	candIn       nn.Inputs
+	candRC       *tensor.Dense
+	winRH, winLH *tensor.Dense
 	rhRow, lhRow []float64
 
 	// Whether Pd/Pu were taken from the model's calibration (vs pinned by
@@ -261,6 +290,7 @@ func (s *Scheduler) AttachMetrics(reg *telemetry.Registry) {
 	s.decideLatMS = reg.Histogram("sched.decide.latency_ms")
 	s.predictLatMS = reg.Histogram("sched.predict.latency_ms")
 	s.candBatch = reg.Histogram("sched.candidates.batch")
+	s.payloadFloats = reg.Gauge("sched.predict.payload_floats")
 }
 
 // Metrics returns the registry the scheduler's instruments currently live
@@ -827,22 +857,31 @@ func (s *Scheduler) candidates(st runner.State) []candidate {
 	return out
 }
 
-// predictCandidates evaluates all candidates in one batched model query,
-// reusing the scheduler's input tensors and prediction context.
+// predictCandidates evaluates all candidates in one shared-history model
+// query: the window the candidates share is assembled once and wrapped in
+// reusable batch-1 view headers, and only the per-candidate allocations
+// form a real batch. A shared-aware predictor (the hybrid model, the RPC
+// client) never sees — or ships — a repeated window row; anything else is
+// bridged through PredictSharedAuto's expansion, preserving the old
+// behaviour exactly. The payload gauge records what was actually sent.
 func (s *Scheduler) predictCandidates(cands []candidate, d nn.Dims) (*tensor.Dense, []float64, error) {
 	b := len(cands)
 	s.rhRow, s.lhRow = dataset.WindowInputsInto(s.rhRow, s.lhRow, d, s.statHist, s.latHist)
-	rhRow, lhRow := s.rhRow, s.lhRow
-	s.candIn.RH = tensor.Ensure(s.candIn.RH, b, d.F, d.N, d.T)
-	s.candIn.LH = tensor.Ensure(s.candIn.LH, b, d.T, d.M)
-	s.candIn.RC = tensor.Ensure(s.candIn.RC, b, d.N)
+	s.winRH = tensor.View(s.winRH, s.rhRow, 1, d.F, d.N, d.T)
+	s.winLH = tensor.View(s.winLH, s.lhRow, 1, d.T, d.M)
+	s.candRC = tensor.Ensure(s.candRC, b, d.N)
 	for i := 0; i < b; i++ {
-		copy(s.candIn.RH.Data[i*len(rhRow):(i+1)*len(rhRow)], rhRow)
-		copy(s.candIn.LH.Data[i*len(lhRow):(i+1)*len(lhRow)], lhRow)
-		copy(s.candIn.RC.Data[i*d.N:(i+1)*d.N], cands[i].alloc)
+		copy(s.candRC.Data[i*d.N:(i+1)*d.N], cands[i].alloc)
+	}
+	in := nn.SharedInputs{RH: s.winRH, LH: s.winLH, RC: s.candRC}
+	winFloats := len(s.rhRow) + len(s.lhRow)
+	if _, shared := s.M.(SharedPredictor); shared {
+		s.payloadFloats.Set(float64(winFloats + b*d.N))
+	} else {
+		s.payloadFloats.Set(float64(b * (winFloats + d.N)))
 	}
 	start := time.Now()
-	pred, pviol, err := s.M.PredictBatch(s.predCtx, s.candIn)
+	pred, pviol, err := PredictSharedAuto(s.M, s.predCtx, in)
 	s.predictLatMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	return pred, pviol, err
 }

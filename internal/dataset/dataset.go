@@ -307,6 +307,21 @@ func PushWindow(statHist, latHist *metrics.History[[]float64], d nn.Dims,
 	latHist.Push(lat)
 }
 
+// Resource-channel indices of the RH feature layout: channel f of the
+// [F,N,T] history image holds cluster.Stats.Features()[f]. These are the
+// single authority for "which channel is which" — consumers that need a
+// specific channel (core.btRowInto reads the CPU-usage plane) must index
+// through them so the model-input assembly here and the feature extraction
+// there cannot drift apart.
+const (
+	ChanCPUUsage = iota
+	ChanCPULimit
+	ChanRSS
+	ChanCache
+	ChanNetRx
+	ChanNetTx
+)
+
 // FlattenStats packs one interval's per-tier stats into the [F·N] feature
 // layout shared by the recorder and the online scheduler.
 func FlattenStats(stats []cluster.Stats, d nn.Dims) []float64 {

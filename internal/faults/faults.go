@@ -421,14 +421,50 @@ func (f *faultyPredictor) Meta() core.ModelMeta { return f.base.Meta() }
 func (f *faultyPredictor) LastPredictMS() float64 { return f.in.lastCostMS }
 
 func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (*tensor.Dense, []float64, error) {
+	batch := 1
+	if in.RH != nil {
+		batch = in.Batch()
+	}
+	cost, err := f.inject(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, pviol, err := f.base.PredictBatch(ctx, in)
+	if err == nil {
+		f.in.lastCostMS = cost
+	}
+	return out, pviol, err
+}
+
+// PredictShared implements core.SharedPredictor so fault windows cover the
+// deduplicated path too: the same injected failures and load model apply
+// (load still scales with the candidate count — shedding is about batch
+// work, not wire bytes), then the call delegates through PredictSharedAuto,
+// which expands for base predictors without a shared path.
+func (f *faultyPredictor) PredictShared(ctx *core.PredictContext, in nn.SharedInputs) (*tensor.Dense, []float64, error) {
+	cost, err := f.inject(in.Batch())
+	if err != nil {
+		return nil, nil, err
+	}
+	out, pviol, err := core.PredictSharedAuto(f.base, ctx, in)
+	if err == nil {
+		f.in.lastCostMS = cost
+	}
+	return out, pviol, err
+}
+
+// inject applies the injector's current fault state to one predictor call
+// of the given batch size, returning the injected cost (ms) to record on
+// success, or the fault error that replaces the call.
+func (f *faultyPredictor) inject(batch int) (float64, error) {
 	inj := f.in
 	switch {
 	case inj.outage:
 		inj.predictorErrors.Inc()
-		return nil, nil, ErrOutage
+		return 0, ErrOutage
 	case inj.slow >= inj.Deadline:
 		inj.predictorErrors.Inc()
-		return nil, nil, ErrTimeout
+		return 0, ErrTimeout
 	case inj.slow > 0:
 		inj.slowCalls.Inc()
 	}
@@ -437,15 +473,11 @@ func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (
 		// Load scales with batch size: a saturated predictor sheds big
 		// candidate batches with near-certainty while a browned-out
 		// batch-of-one usually squeezes through.
-		batch := 1
-		if in.RH != nil {
-			batch = in.Batch()
-		}
 		load := inj.overload * float64(batch) / ShedRefBatch
 		if load >= 1 || inj.rng.Float64() < load {
 			inj.predictorErrors.Inc()
 			inj.shedCalls.Inc()
-			return nil, nil, ErrShed
+			return 0, ErrShed
 		}
 		// Survivors pay queueing delay proportional to load.
 		if c := load * inj.Deadline * 1000; c > cost {
@@ -454,11 +486,7 @@ func (f *faultyPredictor) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (
 	}
 	if inj.blipP > 0 && inj.rng.Float64() < inj.blipP {
 		inj.predictorErrors.Inc()
-		return nil, nil, ErrBlip
+		return 0, ErrBlip
 	}
-	out, pviol, err := f.base.PredictBatch(ctx, in)
-	if err == nil {
-		inj.lastCostMS = cost
-	}
-	return out, pviol, err
+	return cost, nil
 }

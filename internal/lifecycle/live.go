@@ -77,6 +77,24 @@ func (l *Live) PredictBatch(ctx *core.PredictContext, in nn.Inputs) (*tensor.Den
 	return pred, pviol, nil
 }
 
+// PredictShared implements core.SharedPredictor: the shared-history batch
+// is routed through the live model's own shared path when it has one
+// (expanding otherwise, via PredictSharedAuto), so a swap from a
+// shared-capable model to a plain one — or back — never changes what the
+// scheduler can call. A shadow tap scores the same shared batch on the
+// candidate's best path, mirroring PredictBatch's discipline.
+func (l *Live) PredictShared(ctx *core.PredictContext, in nn.SharedInputs) (*tensor.Dense, []float64, error) {
+	slot := l.cur.Load()
+	pred, pviol, err := core.PredictSharedAuto(slot.p, ctx, in)
+	if err != nil {
+		return pred, pviol, err
+	}
+	if tap := l.shadow.Load(); tap != nil {
+		tap.observeShared(slot.p.Meta().D, pred, in)
+	}
+	return pred, pviol, nil
+}
+
 // SetShadow installs (or, with nil, removes) the shadow tap.
 func (l *Live) SetShadow(tap *shadowTap) { l.shadow.Store(tap) }
 
@@ -104,17 +122,33 @@ func newShadowTap(cand core.Predictor, hist *telemetry.Histogram) *shadowTap {
 }
 
 func (t *shadowTap) observe(d nn.Dims, livePred *tensor.Dense, in nn.Inputs) {
+	t.score(d, livePred, in.Batch(), func() (*tensor.Dense, []float64, error) {
+		return t.cand.PredictBatch(t.ctx, in)
+	})
+}
+
+// observeShared scores the candidate on a shared-history batch, taking its
+// shared path when it has one.
+func (t *shadowTap) observeShared(d nn.Dims, livePred *tensor.Dense, in nn.SharedInputs) {
+	t.score(d, livePred, in.Batch(), func() (*tensor.Dense, []float64, error) {
+		return core.PredictSharedAuto(t.cand, t.ctx, in)
+	})
+}
+
+// score runs one candidate evaluation and accumulates the per-row p99
+// disagreement against the live prediction. Caller-shape-agnostic: eval
+// must produce a [b, d.M] prediction. Guarded by t.mu.
+func (t *shadowTap) score(d nn.Dims, livePred *tensor.Dense, b int, eval func() (*tensor.Dense, []float64, error)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.failed {
 		return
 	}
-	candPred, _, err := t.cand.PredictBatch(t.ctx, in)
+	candPred, _, err := eval()
 	if err != nil {
 		t.failed, t.failWhat = true, "predict error: "+err.Error()
 		return
 	}
-	b := in.Batch()
 	t.calls++
 	for i := 0; i < b; i++ {
 		cv := candPred.At(i, d.M-1)

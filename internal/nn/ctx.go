@@ -41,6 +41,10 @@ type Context struct {
 	out    *tensor.Dense
 	latOut *tensor.Dense
 	views  [3]*tensor.Dense
+
+	// expand holds the materialised full-batch form of SharedInputs for
+	// regressors without a trunk/head split (see PredictSharedCtx).
+	expand Inputs
 }
 
 // NewContext returns an empty context. The zero value is also usable.

@@ -20,6 +20,7 @@ import (
 	"sinan/internal/core"
 	"sinan/internal/lifecycle"
 	"sinan/internal/nn"
+	"sinan/internal/tensor"
 )
 
 // UpdateModelArgs carries a candidate model as a lifecycle artifact
@@ -218,6 +219,25 @@ func (s *Service) installLocked(m *core.HybridModel) int {
 // never delays promotion decisions into the client's critical path — and a
 // candidate failure is recorded, never returned to the caller.
 func (s *Service) observeShadow(in nn.Inputs) {
+	s.resolveShadow(func(sh *svcShadow) (*tensor.Dense, []float64, error) {
+		return sh.cand.PredictBatch(sh.ctx, in)
+	})
+}
+
+// observeShadowShared is observeShadow for the deduplicated wire form: the
+// candidate scores the shared-history batch through its own PredictShared
+// path, so shadow traffic exercises exactly the code the candidate would
+// serve with once promoted.
+func (s *Service) observeShadowShared(in nn.SharedInputs) {
+	s.resolveShadow(func(sh *svcShadow) (*tensor.Dense, []float64, error) {
+		return sh.cand.PredictShared(sh.ctx, in)
+	})
+}
+
+// resolveShadow runs one observation of the shadowed candidate through eval
+// and settles its fate: disqualify on error or non-finite output, promote
+// once the observation budget is spent.
+func (s *Service) resolveShadow(eval func(*svcShadow) (*tensor.Dense, []float64, error)) {
 	sh := s.shadowSlot.Load()
 	if sh == nil {
 		return
@@ -227,7 +247,7 @@ func (s *Service) observeShadow(in nn.Inputs) {
 	if s.shadowSlot.Load() != sh || sh.left <= 0 {
 		return // replaced or already resolved while we waited
 	}
-	pred, pviol, err := sh.cand.PredictBatch(sh.ctx, in)
+	pred, pviol, err := eval(sh)
 	switch {
 	case err != nil:
 		sh.failed, sh.reason = true, err.Error()

@@ -51,6 +51,18 @@ type PredictReply struct {
 	PViol []float64
 }
 
+// PredictSharedArgs is the deduplicated wire form (v2) of one candidate
+// batch: every candidate of a decision interval shares one history window,
+// so RH ([F·N·T]) and LH ([T·M]) are sent exactly once per query while RC
+// carries the per-candidate allocations ([Batch·N]). Against a Social
+// Network-sized batch this shrinks the payload by roughly the batch size.
+// DeadlineMS has PredictArgs semantics.
+type PredictSharedArgs struct {
+	RH, LH, RC []float64
+	Batch      int
+	DeadlineMS float64
+}
+
 // MetaReply carries the model metadata the scheduler's filters need.
 type MetaReply struct {
 	Meta core.ModelMeta
@@ -209,6 +221,63 @@ func (s *Service) Predict(args *PredictArgs, reply *PredictReply) error {
 	// model just answered. The live reply above is already secured — a
 	// shadow failure disqualifies the candidate, never this request.
 	s.observeShadow(in)
+	return nil
+}
+
+// PredictShared implements the deduplicated (wire v2) RPC method: the
+// history window arrives once and only the per-candidate allocation rows
+// scale with the batch. It shares Predict's admission, validation, and
+// shadow discipline; only input assembly and the model entry point differ.
+func (s *Service) PredictShared(args *PredictSharedArgs, reply *PredictReply) error {
+	start := s.gate.now()
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.rpcLatMS.Observe(float64(s.gate.now().Sub(start)) / float64(time.Millisecond))
+	}()
+	m := s.model.Load()
+	d := m.D
+	if args.Batch <= 0 {
+		s.rejected.Inc()
+		return fmt.Errorf("predsvc: non-positive batch %d", args.Batch)
+	}
+	if len(args.RH) != d.F*d.N*d.T ||
+		len(args.LH) != d.T*d.M ||
+		len(args.RC) != args.Batch*d.N {
+		s.rejected.Inc()
+		return fmt.Errorf("predsvc: shared input sizes %d/%d/%d do not match batch %d and dims %+v (history is sent once, not per candidate)",
+			len(args.RH), len(args.LH), len(args.RC), args.Batch, d)
+	}
+	var deadline time.Time
+	if args.DeadlineMS > 0 {
+		deadline = s.gate.now().Add(time.Duration(args.DeadlineMS * float64(time.Millisecond)))
+	}
+	release, err := s.gate.acquire(deadline)
+	if err != nil {
+		return err
+	}
+	defer release()
+	in := nn.SharedInputs{
+		RH: tensor.FromSlice(args.RH, 1, d.F, d.N, d.T),
+		LH: tensor.FromSlice(args.LH, 1, d.T, d.M),
+		RC: tensor.FromSlice(args.RC, args.Batch, d.N),
+	}
+	ctx, _ := s.ctxs.Get().(*core.PredictContext)
+	if ctx == nil {
+		ctx = core.NewPredictContext()
+	}
+	defer s.ctxs.Put(ctx)
+	pred, pviol, err := m.PredictShared(ctx, in)
+	if err != nil {
+		return err
+	}
+	// Same copy-out discipline as Predict: secure the reply before the
+	// pooled context can be reused.
+	reply.Lat = append([]float64(nil), pred.Data...)
+	reply.M = d.M
+	reply.PViol = append([]float64(nil), pviol...)
+	s.predicted.Add(int64(args.Batch))
+	s.observeShadowShared(in)
 	return nil
 }
 
@@ -461,6 +530,14 @@ type Client struct {
 	jitter     *rand.Rand
 	lastCostMS float64 // wall cost of the last successful PredictBatch
 
+	// Shared-history (wire v2) negotiation. sharedOff latches true the
+	// first time the server answers Sinan.PredictShared with "unknown
+	// method": every later PredictShared expands client-side (into the
+	// reusable expand scratch) and rides the v1 Predict wire form instead
+	// of re-probing a server that already said no.
+	sharedOff bool
+	expand    nn.Inputs
+
 	// Telemetry instruments ("client.*"). Handles are rebindable via
 	// AttachMetrics so a run harness can gather the client's counters in a
 	// per-run registry.
@@ -473,6 +550,7 @@ type Client struct {
 	fastFails        *telemetry.Counter
 	sheds            *telemetry.Counter
 	deadlineExceeded *telemetry.Counter
+	sharedFallbacks  *telemetry.Counter
 	breakerState     *telemetry.Gauge     // 0 closed, 1 open, 2 half-open
 	predLatMS        *telemetry.Histogram // wall cost of successful PredictBatch calls
 
@@ -507,6 +585,7 @@ func (c *Client) bindLocked(reg *telemetry.Registry) {
 	c.fastFails = reg.Counter("client.breaker.fastfails")
 	c.sheds = reg.Counter("client.predict.sheds")
 	c.deadlineExceeded = reg.Counter("client.predict.deadline_exceeded")
+	c.sharedFallbacks = reg.Counter("client.predict.shared_fallbacks")
 	c.breakerState = reg.Gauge("client.breaker.state")
 	c.predLatMS = reg.Histogram("client.predict.latency_ms")
 }
@@ -605,6 +684,14 @@ func (c *Client) LastPredictMS() float64 {
 // it as "no data", not as a transport failure; the connection is kept.
 var ErrStatsUnsupported = errors.New("predsvc: server does not implement the Stats RPC")
 
+// ErrSharedUnsupported marks a server that predates the Sinan.PredictShared
+// RPC (wire v2): the service is healthy — it answered the probe — it just
+// cannot accept the deduplicated form. Client.PredictShared handles it
+// internally by latching onto the v1 wire form; it surfaces (wrapped) only
+// through SharedSupported-style probes in tests. Like ErrStatsUnsupported,
+// it never drops the connection or feeds the circuit breaker.
+var ErrSharedUnsupported = errors.New("predsvc: server does not implement the PredictShared RPC")
+
 // isUnknownMethod reports whether err is net/rpc's "no such method/service"
 // response. net/rpc flattens server-side errors to strings on the wire, so
 // string matching is the only classification available.
@@ -659,16 +746,87 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 		c.errs.Inc()
 		return nil, nil, ErrUnavailable
 	}
+	reply, err := c.predictLocked("Sinan.Predict", args, false, c.now())
+	if err != nil {
+		return nil, nil, err
+	}
+	return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol, nil
+}
+
+// PredictShared implements core.SharedPredictor over the wire: one history
+// window plus per-candidate allocation rows per query. Against a server
+// that predates the v2 RPC the first call probes, learns (latching
+// sharedOff), falls back to the expanded v1 form within the same logical
+// call, and never re-probes — the fallback keeps the connection and the
+// breaker untouched, because an "unknown method" answer proves the
+// transport healthy.
+func (c *Client) PredictShared(_ *core.PredictContext, in nn.SharedInputs) (*tensor.Dense, []float64, error) {
+	b := in.Batch()
+	deadlineMS := float64(c.opts.CallTimeout) / float64(time.Millisecond)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls.Inc()
+	if !c.breakerAllow() {
+		c.fastFails.Inc()
+		c.errs.Inc()
+		return nil, nil, ErrUnavailable
+	}
 	start := c.now()
+	if !c.sharedOff {
+		args := &PredictSharedArgs{
+			RH:         in.RH.Data,
+			LH:         in.LH.Data,
+			RC:         in.RC.Data,
+			Batch:      b,
+			DeadlineMS: deadlineMS,
+		}
+		reply, err := c.predictLocked("Sinan.PredictShared", args, true, start)
+		if err == nil {
+			return tensor.FromSlice(reply.Lat, b, reply.M), reply.PViol, nil
+		}
+		if !errors.Is(err, ErrSharedUnsupported) {
+			return nil, nil, err
+		}
+		// Old server: remember, count, and degrade to the v1 wire form for
+		// this and every subsequent call on this client.
+		c.sharedOff = true
+		c.sharedFallbacks.Inc()
+	}
+	in.Expand(&c.expand)
+	args := &PredictArgs{
+		RH:         c.expand.RH.Data,
+		LH:         c.expand.LH.Data,
+		RC:         c.expand.RC.Data,
+		Batch:      b,
+		DeadlineMS: deadlineMS,
+	}
+	reply, err := c.predictLocked("Sinan.Predict", args, false, start)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tensor.FromSlice(reply.Lat, b, reply.M), reply.PViol, nil
+}
+
+// predictLocked is the retry/breaker engine shared by the v1 and v2 wire
+// forms: bounded retries with jittered backoff and redial, typed shed and
+// expiry handling, breaker and latency accounting on the way out. With
+// probe set, an "unknown method" answer returns ErrSharedUnsupported
+// (wrapped) immediately — no retries, no dropped connection, no breaker
+// failure: the server responded, so the transport is healthy and only the
+// method is missing. Caller holds c.mu and has already passed the breaker.
+func (c *Client) predictLocked(method string, args interface{}, probe bool, start time.Time) (PredictReply, error) {
 	var reply PredictReply
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = c.callOnce("Sinan.Predict", args, &reply, c.opts.CallTimeout)
+		err = c.callOnce(method, args, &reply, c.opts.CallTimeout)
 		if err == nil {
 			c.breakerSuccess()
 			c.lastCostMS = float64(c.now().Sub(start)) / float64(time.Millisecond)
 			c.predLatMS.Observe(c.lastCostMS)
-			return tensor.FromSlice(reply.Lat, args.Batch, reply.M), reply.PViol, nil
+			return reply, nil
+		}
+		if probe && isUnknownMethod(err) {
+			return reply, fmt.Errorf("%w (server said: %v)", ErrSharedUnsupported, err)
 		}
 		if IsOverloaded(err) {
 			// Shed: the service is alive but saturated. Retrying now would
@@ -680,7 +838,7 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 			c.sheds.Inc()
 			c.errs.Inc()
 			c.breakerFailure()
-			return nil, nil, fmt.Errorf("predsvc: predict shed by overloaded service: %w", ErrOverloaded)
+			return reply, fmt.Errorf("predsvc: predict shed by overloaded service: %w", ErrOverloaded)
 		}
 		if IsExpired(err) {
 			// The server dropped the request as already-expired: a deadline
@@ -697,7 +855,7 @@ func (c *Client) PredictBatch(_ *core.PredictContext, in nn.Inputs) (*tensor.Den
 	}
 	c.breakerFailure()
 	c.errs.Inc()
-	return nil, nil, fmt.Errorf("predsvc: predict RPC failed after %d attempts: %w", c.opts.MaxRetries+1, err)
+	return reply, fmt.Errorf("predsvc: predict RPC failed after %d attempts: %w", c.opts.MaxRetries+1, err)
 }
 
 // callOnce performs one RPC attempt on the current connection (dialing a

@@ -1,0 +1,250 @@
+package predsvc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sinan/internal/nn"
+	"sinan/internal/tensor"
+)
+
+// mkShared builds one decision interval's deduplicated query: a single
+// history window and b allocation rows.
+func mkShared(d nn.Dims, b int) nn.SharedInputs {
+	in := nn.SharedInputs{
+		RH: tensor.New(1, d.F, d.N, d.T),
+		LH: tensor.New(1, d.T, d.M),
+		RC: tensor.New(b, d.N),
+	}
+	for i := range in.RH.Data {
+		in.RH.Data[i] = float64(i%13) * 0.1
+	}
+	for i := range in.LH.Data {
+		in.LH.Data[i] = float64(i%7) * 5
+	}
+	for i := range in.RC.Data {
+		in.RC.Data[i] = 1 + float64(i%4)*0.5
+	}
+	return in
+}
+
+// TestRemotePredictSharedMatchesLocal pins the v2 wire path end to end: the
+// deduplicated query against a shared-capable server must answer exactly
+// like the local model's shared path (gob round-trips float64 exactly, so
+// equality is bitwise), without ever taking the fallback.
+func TestRemotePredictSharedMatchesLocal(t *testing.T) {
+	m := tinyHybrid(t)
+	l, _, err := ListenAndServe("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in := mkShared(m.D, 7)
+	wantLat, wantPV, err := m.PredictShared(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLat = wantLat.Clone()
+	wantPV = append([]float64(nil), wantPV...)
+	gotLat, gotPV, err := c.PredictShared(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantLat.Data {
+		if gotLat.Data[i] != wantLat.Data[i] {
+			t.Fatalf("lat[%d] = %v, want %v", i, gotLat.Data[i], wantLat.Data[i])
+		}
+	}
+	for i := range wantPV {
+		if gotPV[i] != wantPV[i] {
+			t.Fatalf("pviol[%d] = %v, want %v", i, gotPV[i], wantPV[i])
+		}
+	}
+	if n := c.Metrics().Counter("client.predict.shared_fallbacks").Value(); n != 0 {
+		t.Fatalf("shared-capable server triggered %d fallbacks", n)
+	}
+}
+
+// TestPredictSharedFallsBackToLegacyServer is the compatibility contract:
+// against a server that predates the PredictShared RPC, the first call
+// probes, silently degrades to the expanded v1 wire form within the same
+// logical call, and latches — no redial, no breaker activity, no error
+// surfaced, correct answers, and exactly one recorded fallback no matter
+// how many calls follow.
+func TestPredictSharedFallsBackToLegacyServer(t *testing.T) {
+	m := tinyHybrid(t)
+	lis := serveLegacy(t, NewService(m))
+	defer lis.Close()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	redialsBefore := c.Stats().Redials
+
+	in := mkShared(m.D, 5)
+	var full nn.Inputs
+	in.Expand(&full)
+	wantLat, wantPV, err := m.PredictBatch(nil, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLat = wantLat.Clone()
+	wantPV = append([]float64(nil), wantPV...)
+
+	for call := 0; call < 3; call++ {
+		gotLat, gotPV, err := c.PredictShared(nil, in)
+		if err != nil {
+			t.Fatalf("call %d against legacy server: %v", call, err)
+		}
+		for i := range wantLat.Data {
+			if gotLat.Data[i] != wantLat.Data[i] {
+				t.Fatalf("call %d: lat[%d] = %v, want %v", call, i, gotLat.Data[i], wantLat.Data[i])
+			}
+		}
+		for i := range wantPV {
+			if gotPV[i] != wantPV[i] {
+				t.Fatalf("call %d: pviol[%d] = %v, want %v", call, i, gotPV[i], wantPV[i])
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Redials != redialsBefore {
+		t.Fatalf("fallback redialed: %d -> %d", redialsBefore, st.Redials)
+	}
+	if st.Errors != 0 || st.BreakerOpens != 0 || st.Retries != 0 {
+		t.Fatalf("fallback counted failures: %+v", st)
+	}
+	if n := c.Metrics().Counter("client.predict.shared_fallbacks").Value(); n != 1 {
+		t.Fatalf("fallbacks = %d, want exactly 1 (probe must not repeat)", n)
+	}
+}
+
+// TestPredictSharedValidatesLengths: the v2 server refuses payloads whose
+// history arrives per candidate (the redundancy this wire form exists to
+// eliminate) or whose RC rows disagree with the batch — and the v1 method
+// on the same server still demands full-batch lengths, so an old client
+// talking to a new server is unaffected.
+func TestPredictSharedValidatesLengths(t *testing.T) {
+	m := tinyHybrid(t)
+	svc := NewService(m)
+	d := m.D
+	b := 4
+	in := mkShared(d, b)
+	var full nn.Inputs
+	in.Expand(&full)
+
+	var reply PredictReply
+	cases := []PredictSharedArgs{
+		{RH: full.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: b},     // per-candidate RH
+		{RH: in.RH.Data, LH: full.LH.Data, RC: in.RC.Data, Batch: b},     // per-candidate LH
+		{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data[:d.N], Batch: b}, // short RC
+		{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: 0},       // no batch
+	}
+	for i, args := range cases {
+		if err := svc.PredictShared(&args, &reply); err == nil {
+			t.Fatalf("case %d: malformed shared args accepted", i)
+		}
+	}
+	rejected := svc.Metrics().Counter("server.rpc.predict.rejected").Value()
+	if rejected != int64(len(cases)) {
+		t.Fatalf("rejected = %d, want %d", rejected, len(cases))
+	}
+
+	// Well-formed shared args pass; v1 Predict still wants expanded lengths.
+	good := PredictSharedArgs{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: b}
+	if err := svc.PredictShared(&good, &reply); err != nil {
+		t.Fatal(err)
+	}
+	v1short := PredictArgs{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: b}
+	if err := svc.Predict(&v1short, &reply); err == nil {
+		t.Fatal("v1 Predict accepted shared-sized history")
+	}
+	v1 := PredictArgs{RH: full.RH.Data, LH: full.LH.Data, RC: full.RC.Data, Batch: b}
+	if err := svc.Predict(&v1, &reply); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapDuringPredictShared hammers the shared path from several
+// goroutines while the served model is hot-swapped underneath: every call
+// must answer consistently from one model or the other (never a torn mix),
+// with no errors. Run under -race this also proves the shared path shares
+// no mutable state across requests.
+func TestSwapDuringPredictShared(t *testing.T) {
+	m1 := tinyHybrid(t)
+	svc := NewService(m1)
+	m2 := tinyHybrid(t)
+	d := m1.D
+	in := mkShared(d, 6)
+
+	want1, pv1, err := m1.PredictShared(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 = want1.Clone()
+	pv1 = append([]float64(nil), pv1...)
+	want2, pv2, err := m2.PredictShared(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 = want2.Clone()
+	pv2 = append([]float64(nil), pv2...)
+
+	const workers, rounds = 4, 50
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			args := PredictSharedArgs{RH: in.RH.Data, LH: in.LH.Data, RC: in.RC.Data, Batch: in.Batch()}
+			for r := 0; r < rounds; r++ {
+				var reply PredictReply
+				if err := svc.PredictShared(&args, &reply); err != nil {
+					errc <- err
+					return
+				}
+				from1 := reply.Lat[0] == want1.Data[0]
+				want, pv := want2, pv2
+				if from1 {
+					want, pv = want1, pv1
+				}
+				for i := range reply.Lat {
+					if reply.Lat[i] != want.Data[i] {
+						errc <- fmt.Errorf("torn latency row at index %d", i)
+						return
+					}
+				}
+				for i := range reply.PViol {
+					if reply.PViol[i] != pv[i] {
+						errc <- fmt.Errorf("torn pviol at index %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			svc.Swap(m2)
+			svc.Swap(m1)
+		}
+	}()
+	wg.Wait()
+	<-done
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

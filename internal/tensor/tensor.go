@@ -254,6 +254,54 @@ func matMulTransBRows(dst, a, b *Dense, k, n, start, end int) {
 	}
 }
 
+// RepeatRows tiles src's rows cyclically b times along axis 0 into a new
+// tensor: src [r, ...] → [b·r, ...].
+func RepeatRows(src *Dense, b int) *Dense {
+	shape := append([]int{src.Shape[0] * b}, src.Shape[1:]...)
+	dst := New(shape...)
+	RepeatRowsInto(dst, src)
+	return dst
+}
+
+// RepeatRowsInto tiles src's rows cyclically into dst along axis 0. Both
+// tensors must have the same per-row element count (product of the trailing
+// dims), and dst's leading dim must be a multiple of src's. This is the
+// broadcast kernel of the shared-history predict path: the batch-1 trunk
+// activation is repeated across every candidate row without re-encoding.
+func RepeatRowsInto(dst, src *Dense) {
+	sb, db := src.Shape[0], dst.Shape[0]
+	row := src.Size() / sb
+	if dst.Size()/db != row || db%sb != 0 {
+		panic(fmt.Sprintf("tensor: repeat rows %v into %v", src.Shape, dst.Shape))
+	}
+	for i := 0; i < db; i++ {
+		copy(dst.Data[i*row:(i+1)*row], src.Data[(i%sb)*row:(i%sb+1)*row])
+	}
+}
+
+// View points t (allocating a header when nil) at data with the given
+// shape, without copying — the reusable-header counterpart of FromSlice for
+// callers wrapping the same backing slice every decision interval.
+func View(t *Dense, data []float64, shape ...int) *Dense {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: view shape of %d elements incompatible with %d-element data", n, len(data)))
+	}
+	if t == nil {
+		t = &Dense{}
+	}
+	t.Data = data
+	if cap(t.Shape) < len(shape) {
+		t.Shape = make([]int, len(shape))
+	}
+	t.Shape = t.Shape[:len(shape)]
+	copy(t.Shape, shape)
+	return t
+}
+
 // AddInPlace adds b into a elementwise.
 func AddInPlace(a, b *Dense) {
 	if a.Size() != b.Size() {

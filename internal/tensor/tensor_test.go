@@ -241,3 +241,60 @@ func TestParallelFor(t *testing.T) {
 		}
 	})
 }
+
+func TestRepeatRows(t *testing.T) {
+	src := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 1, 2, 3)
+	dst := RepeatRows(src, 4)
+	if dst.Shape[0] != 4 || dst.Shape[1] != 2 || dst.Shape[2] != 3 {
+		t.Fatalf("repeat shape %v", dst.Shape)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if dst.Data[i*6+j] != src.Data[j] {
+				t.Fatalf("row %d diverged at %d: %v", i, j, dst.Data[i*6+j])
+			}
+		}
+	}
+	// Cyclic broadcast: 2 source rows into 6 destination rows.
+	src2 := FromSlice([]float64{1, 2, 10, 20}, 2, 2)
+	dst2 := New(6, 2)
+	RepeatRowsInto(dst2, src2)
+	want := []float64{1, 2, 10, 20, 1, 2, 10, 20, 1, 2, 10, 20}
+	for i, w := range want {
+		if dst2.Data[i] != w {
+			t.Fatalf("cyclic repeat[%d] = %v, want %v", i, dst2.Data[i], w)
+		}
+	}
+}
+
+func TestRepeatRowsIntoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RepeatRowsInto accepted a non-multiple destination")
+		}
+	}()
+	RepeatRowsInto(New(3, 2), FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+}
+
+func TestView(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	v := View(nil, data, 2, 3)
+	if v.Shape[0] != 2 || v.Shape[1] != 3 {
+		t.Fatalf("view shape %v", v.Shape)
+	}
+	v.Data[0] = 42
+	if data[0] != 42 {
+		t.Fatal("view does not alias the backing slice")
+	}
+	// Reusing the header must not allocate a new one.
+	v2 := View(v, data[:4], 4)
+	if v2 != v || v2.Shape[0] != 4 || len(v2.Shape) != 1 {
+		t.Fatalf("view reuse: got %p/%v, want %p", v2, v2.Shape, v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("View accepted a mismatched shape")
+		}
+	}()
+	View(nil, data, 4, 2)
+}

@@ -58,7 +58,14 @@ echo "== stats-plane smoke (race) =="
 # tests — plus the loopback e2e run — get a dedicated race-mode pass.
 go test -race -timeout 20m -run 'Plane|Aggregat|Reporter|Collector|Hub|Sink' ./...
 
+echo "== shared-path smoke (race) =="
+# Shared-history candidate evaluation: the parity tests pin the trunk-once
+# path bit-identical to the full batch, and the wire/fallback tests cover
+# the v2 RPC negotiation — run them under the race detector so context
+# reuse and the client's latch are exercised concurrently.
+go test -race -timeout 10m -run 'Shared' ./...
+
 echo "== bench smoke =="
-go test -run='^$' -bench='ConvForward|PredictBatch' -benchtime=1x
+go test -run='^$' -bench='ConvForward|PredictBatch$|PredictShared' -benchtime=1x
 
 echo "OK"
